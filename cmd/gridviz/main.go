@@ -1,0 +1,91 @@
+// Command gridviz renders the Figure 7 grid simulation as ASCII fork maps:
+// one letter per node giving the chain branch it follows, at the requested
+// time steps (default: the paper's 151, 201, 251).
+//
+// Usage:
+//
+//	gridviz [-size N] [-share F] [-failure F] [-span F] [-seed N] [-steps a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gridsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	size := flag.Int("size", 25, "grid side length")
+	share := flag.Float64("share", 0.30, "attacker hash share")
+	failure := flag.Float64("failure", 0.10, "communication failure rate")
+	span := flag.Float64("span", 2.0, "span ratio Rspan")
+	seed := flag.Int64("seed", 3, "seed")
+	stepsArg := flag.String("steps", "151,201,251", "comma-separated time steps to render")
+	flag.Parse()
+
+	steps, err := parseSteps(*stepsArg)
+	if err != nil {
+		return err
+	}
+	g, err := gridsim.New(gridsim.Config{
+		Size:          *size,
+		SpanRatio:     *span,
+		FailureRate:   *failure,
+		AttackerShare: *share,
+		AttackerRow:   7 % *size,
+		AttackerCol:   7 % *size,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	prev := 0
+	for _, step := range steps {
+		if step < prev {
+			return fmt.Errorf("steps must be ascending, got %d after %d", step, prev)
+		}
+		g.Advance(step - prev)
+		prev = step
+		snap := g.Snapshot()
+		fmt.Printf("=== time step %d (max height %d, %d forks, counterfeit cells %d) ===\n",
+			step, snap.MaxHeight, len(snap.ForkCounts), g.CounterfeitCells())
+		fmt.Print(g.Render())
+		printForkCensus(snap)
+	}
+	return nil
+}
+
+func parseSteps(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	steps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad step %q", p)
+		}
+		steps = append(steps, n)
+	}
+	return steps, nil
+}
+
+func printForkCensus(snap gridsim.Snapshot) {
+	ids := make([]gridsim.ForkID, 0, len(snap.ForkCounts))
+	for id := range snap.ForkCounts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Printf("  fork %v: %d cells\n", id, snap.ForkCounts[id])
+	}
+}

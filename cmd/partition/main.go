@@ -1,0 +1,590 @@
+// Command partition is the main CLI of the reproduction: it regenerates
+// every table and figure of the paper and runs the four partitioning
+// attacks plus their countermeasures on the simulated network.
+//
+// Usage:
+//
+//	partition experiment <table1..table8|figure1..figure8|figure6a..figure6c|all> [-seed N] [-full]
+//	partition attack <spatial|temporal|spatiotemporal|logical|doublespend|majority51|cascade> [-seed N]
+//	partition defend <blockaware|stratum|routeguard> [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/measure"
+	"repro/internal/mining"
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/vulndb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return usageError()
+	}
+	verb, noun := args[0], args[1]
+	fs := flag.NewFlagSet("partition", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generation seed")
+	full := fs.Bool("full", false, "paper-scale experiment windows (slow)")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	opts := core.Options{}
+	if *full {
+		opts = core.Full()
+	}
+	study, err := core.NewStudyWithOptions(*seed, opts)
+	if err != nil {
+		return err
+	}
+	switch verb {
+	case "experiment":
+		return runExperiment(study, noun)
+	case "attack":
+		return runAttack(study, noun)
+	case "defend":
+		return runDefense(study, noun)
+	case "export":
+		return runExport(study, noun)
+	default:
+		return usageError()
+	}
+}
+
+// runExport writes machine-readable CSV for the data figures/tables.
+func runExport(study *core.Study, name string) error {
+	switch strings.ToLower(name) {
+	case "figure3":
+		return study.ExportFigure3(os.Stdout)
+	case "figure4":
+		return study.ExportFigure4(os.Stdout)
+	case "figure6a":
+		return study.ExportFigure6(os.Stdout, core.Figure6a)
+	case "figure6b":
+		return study.ExportFigure6(os.Stdout, core.Figure6b)
+	case "figure6c":
+		return study.ExportFigure6(os.Stdout, core.Figure6c)
+	case "figure8":
+		return study.ExportFigure8(os.Stdout)
+	case "table5":
+		return study.ExportTableV(os.Stdout)
+	case "table6":
+		return study.ExportTableVI(os.Stdout)
+	default:
+		return fmt.Errorf("unknown export %q (figure3, figure4, figure6a/b/c, figure8, table5, table6)", name)
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full]\n" +
+		"  experiments: table1..table8, figure1..figure8 (figure6a/b/c), all\n" +
+		"  attacks:     spatial, temporal, spatiotemporal, logical, doublespend, majority51, cascade\n" +
+		"  defenses:    blockaware, stratum, routeguard, placement\n" +
+		"  exports:     figure3, figure4, figure6a/b/c, figure8, table5, table6 (CSV to stdout)")
+}
+
+func runExperiment(study *core.Study, name string) error {
+	if name == "all" {
+		for _, n := range []string{
+			"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+			"figure1", "figure2", "figure3", "figure4", "figure5",
+			"figure6a", "figure6b", "figure6c", "figure7", "figure8",
+		} {
+			if err := runExperiment(study, n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	switch strings.ToLower(name) {
+	case "table1":
+		fmt.Print(study.TableI().Render())
+	case "table2":
+		fmt.Print(study.TableII().Render())
+	case "table3":
+		r, err := study.TableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "table4":
+		r, err := study.TableIV()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "table5":
+		r, err := study.TableV()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "table6":
+		r, err := study.TableVI()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "table7":
+		r, err := study.TableVII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "table8":
+		fmt.Print(study.TableVIII().Render())
+	case "figure1":
+		out, err := study.Figure1Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "figure2":
+		out, err := study.Figure2Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "figure3":
+		r, err := study.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "figure4":
+		r, err := study.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "figure5":
+		_, out, err := study.Figure5Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "figure6a", "figure6b", "figure6c", "figure6":
+		variants := map[string]core.Figure6Variant{
+			"figure6a": core.Figure6a, "figure6b": core.Figure6b,
+			"figure6c": core.Figure6c, "figure6": core.Figure6a,
+		}
+		r, err := study.Figure6(variants[strings.ToLower(name)])
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "figure7":
+		r, err := study.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "figure8":
+		r, err := study.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func runAttack(study *core.Study, name string) error {
+	switch strings.ToLower(name) {
+	case "spatial":
+		return spatialAttack(study)
+	case "temporal":
+		_, out, err := study.Figure5Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case "spatiotemporal":
+		return spatioTemporalAttack(study)
+	case "logical":
+		return logicalAttack(study)
+	case "doublespend":
+		return doubleSpendAttack(study)
+	case "majority51":
+		return majority51Attack(study)
+	case "cascade":
+		return cascadeAttack(study)
+	default:
+		return fmt.Errorf("unknown attack %q", name)
+	}
+}
+
+func doubleSpendAttack(study *core.Study) error {
+	fmt.Println("Double-spend through a temporal partition")
+	sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+5)
+	if err != nil {
+		return err
+	}
+	sim.StartMining()
+	sim.Run(6 * time.Hour)
+	victims := attack.FindVictims(sim, 0, study.Opts.NetworkNodes/10)
+	res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
+		AttackerShare: 0.30,
+		HoldFor:       8 * time.Hour,
+		HealFor:       4 * time.Hour,
+		TrackPayment:  true,
+	}, victims)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  payment tx %d planted in the first counterfeit block\n", res.PaymentTx)
+	fmt.Printf("  merchant saw %d confirmations during the %d-block hold\n",
+		res.MerchantConfirmations, res.CounterfeitBlocks)
+	fmt.Printf("  payment reversed on heal: %v (double-spend %s)\n",
+		res.PaymentReversed, outcome(res.PaymentReversed && res.MerchantConfirmations >= 2))
+	return nil
+}
+
+func majority51Attack(study *core.Study) error {
+	fmt.Println("51% attack after spatially isolating Table IV's mining backbone")
+	sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+6)
+	if err != nil {
+		return err
+	}
+	sim.StartMining()
+	sim.Run(6 * time.Hour)
+	res, err := attack.ExecuteMajority51(sim, attack.MajorityConfig{
+		AttackerShare: 0.30,
+		IsolatedShare: 0.657, // the three hijacked ASes of Table IV
+		MineFor:       24 * time.Hour,
+		Seed:          study.Seed(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  effective race: attacker 30.0%% vs honest %.1f%%\n", res.HonestShare*100)
+	fmt.Printf("  private chain: %d blocks vs public %d\n", res.AttackerBlocks, res.HonestBlocks)
+	fmt.Printf("  attacker wins: %v; history rewritten %d blocks deep; adopted by %d nodes\n",
+		res.AttackerWins, res.ReorgDepth, res.AdoptedBy)
+	return nil
+}
+
+func cascadeAttack(study *core.Study) error {
+	fmt.Println("Eclipse cascade: partial AS cut, interior nodes relaying via border nodes")
+	// The cascade precondition (§V-A implications): within the victim AS,
+	// interior nodes peer only among themselves and with a few border
+	// nodes that hold the external connectivity. Hijacking the prefixes
+	// that cover the border nodes then starves the whole AS.
+	const (
+		total    = 100
+		asSize   = 30 // victim AS nodes: 0..29
+		borders  = 6  // nodes 0..5 carry the AS's external links
+		outPeers = 8
+	)
+	build := func() (*netsim.Simulation, error) {
+		rng := stats.NewRand(study.Seed() + 7)
+		nodes := make([]*p2p.Node, total)
+		outbound := make([][]p2p.NodeID, total)
+		for i := range nodes {
+			asn := topology.ASN(24940)
+			if i >= asSize {
+				asn = topology.ASN(60000)
+			}
+			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{ASN: asn})
+			for len(outbound[i]) < outPeers {
+				var p int
+				switch {
+				case i < borders: // border: half internal, half external
+					if len(outbound[i])%2 == 0 {
+						p = rng.Intn(asSize)
+					} else {
+						p = asSize + rng.Intn(total-asSize)
+					}
+				case i < asSize: // interior: AS-only
+					p = rng.Intn(asSize)
+				default: // outside world: everyone else
+					p = asSize + rng.Intn(total-asSize)
+				}
+				if p == i {
+					continue
+				}
+				outbound[i] = append(outbound[i], p2p.NodeID(p))
+			}
+		}
+		return netsim.NewWithGraph(netsim.Config{
+			Nodes:        total,
+			Seed:         study.Seed() + 7,
+			GatewayNodes: []p2p.NodeID{total - 1}, // honest blocks enter outside
+			Gossip:       p2p.Config{FailureRate: 0.10},
+		}, nodes, outbound)
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.5} {
+		sim, err := build()
+		if err != nil {
+			return err
+		}
+		sim.StartMining()
+		sim.Run(4 * time.Hour)
+		res, err := attack.ExecuteCascade(sim, attack.CascadeConfig{
+			Victim:      24940,
+			CutFraction: frac, // the cut takes the lowest IDs first: the border
+			RunFor:      12 * time.Hour,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  cut %.0f%% of the AS (%d nodes, border first): %d/%d survivors behind, mean lag %.1f blocks (outside: %.1f%% behind)\n",
+			frac*100, res.Cut, res.SurvivorsBehind, res.Survivors, res.MeanSurvivorLag, res.OutsideBehindFrac*100)
+	}
+	fmt.Println("  isolating the border subset eclipses the entire AS, as §V-A predicts")
+	return nil
+}
+
+func outcome(ok bool) string {
+	if ok {
+		return "SUCCEEDED"
+	}
+	return "failed"
+}
+
+func spatialAttack(study *core.Study) error {
+	sp, err := attack.NewSpatial(study.Pop)
+	if err != nil {
+		return err
+	}
+	pools, err := mining.NewPoolSet(dataset.TableIV())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Spatial attack: sub-prefix hijack of AS24940 (Hetzner, 1,030 nodes)")
+	plan, err := sp.PlanAS(666, 24940, 0.95)
+	if err != nil {
+		return err
+	}
+	res, err := sp.Execute(plan, pools)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  prefixes hijacked: %d (announcements: %d)\n", plan.HijackCount, res.Announcements)
+	fmt.Printf("  nodes captured: %d of 1030 (%.1f%%)\n", res.CapturedNodes, float64(res.CapturedNodes)/10.30)
+	sp.Withdraw()
+
+	fmt.Println("Spatial attack on mining: hijack AS37963 + AS45102 + AS58563 (Table IV)")
+	share := attack.MinerIsolation(pools, []topology.ASN{37963, 45102, 58563})
+	fmt.Printf("  hash share isolated: %.1f%%\n", share*100)
+
+	fmt.Println("Nation-state scenario: block all Chinese ASes")
+	cplan, err := sp.PlanCountry(0, "CN")
+	if err != nil {
+		return err
+	}
+	var cnASes []topology.ASN
+	for _, t := range cplan.Targets {
+		cnASes = append(cnASes, t.Victim)
+	}
+	fmt.Printf("  nodes behind CN ASes: %d; hash share: %.1f%%\n",
+		cplan.ExpectedNodes, attack.MinerIsolation(pools, cnASes)*100)
+	return nil
+}
+
+func spatioTemporalAttack(study *core.Study) error {
+	tr, err := study.Pop.RunTrace(dataset.TraceConfig{
+		Duration: 24 * time.Hour, SampleEvery: 10 * time.Minute,
+		Seed: study.Seed() + 9, TrackSyncedByAS: true,
+	})
+	if err != nil {
+		return err
+	}
+	moment, err := attack.FindBestMoment(tr, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Spatio-temporal attack: best moment at t=%v (synced %d, behind %d)\n",
+		moment.Time, moment.Synced, moment.Behind)
+	for _, cap := range []attack.Capability{attack.CapabilityRouting, attack.CapabilityMining, attack.CapabilityBoth} {
+		plan, err := attack.PlanSpatioTemporal(study.Pop, moment, cap, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %v adversary: %d ASes (%d prefixes), %d temporal victims, coverage %.1f%%\n",
+			cap, len(plan.SpatialASes), plan.SpatialPrefixes, plan.TemporalVictims, plan.Coverage*100)
+	}
+	return nil
+}
+
+func logicalAttack(study *core.Study) error {
+	db := vulndb.New()
+	fmt.Println("Logical attack: software-version partitioning")
+	plans, err := attack.TopCaptureTargets(study.Pop, 3)
+	if err != nil {
+		return err
+	}
+	for _, p := range plans {
+		fmt.Printf("  controlling %q captures %d nodes (%.1f%% of network)\n",
+			p.Version, p.ControlledNodes, p.NetworkShare*100)
+	}
+	impact, err := attack.SimulateCrashExploit(study.Pop, db, "CVE-2018-17144")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  CVE-2018-17144 crash exploit: %d of %d up nodes down (%.1f%%)\n",
+		impact.NodesDown, impact.UpBefore, impact.DownShare*100)
+	fmt.Printf("  client diversity (HHI): %.3f across %d variants\n",
+		attack.DiversityIndex(study.Pop), len(study.Pop.VersionCounts()))
+
+	// Live execution: controlled clients silently stop relaying; the
+	// honest remainder degrades with the captured share.
+	fmt.Println("  relay-silence execution (12h window):")
+	for _, k := range []int{1, 2, 20, 100} {
+		versions := []string{}
+		for _, row := range measure.TopVersions(study.Pop, k) {
+			versions = append(versions, row.Version)
+		}
+		sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+8)
+		if err != nil {
+			return err
+		}
+		sim.StartMining()
+		sim.Run(3 * time.Hour)
+		res, err := attack.ExecuteLogicalCapture(sim, versions, 12*time.Hour, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    top %3d versions captured (%.0f%% of nodes silent): %.0f%% of honest nodes fall behind\n",
+			k, res.Share*100, res.HonestBehindFrac*100)
+	}
+	fmt.Println("  eight-peer gossip redundancy resists relay silence until capture is near-total —")
+	fmt.Println("  which is why §V-D frames logical control as an optimizer for the other attacks")
+	return nil
+}
+
+func runDefense(study *core.Study, name string) error {
+	switch strings.ToLower(name) {
+	case "blockaware":
+		return blockAwareDemo(study)
+	case "stratum":
+		return stratumDemo()
+	case "routeguard":
+		return routeGuardDemo(study)
+	case "placement":
+		return placementDemo(study)
+	default:
+		return fmt.Errorf("unknown defense %q", name)
+	}
+}
+
+func placementDemo(study *core.Study) error {
+	fmt.Println("Exchange full-node placement: co-location vs dispersal (§VI)")
+	candidates := core.Figure4ASes()
+	cost, err := defense.CompareColocation(study.Pop, 24940, candidates, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  5 nodes co-located in AS24940: %d hijack incident blinds the operator\n", cost.NaiveIncidents)
+	fmt.Printf("  5 nodes dispersed across the top-5 ASes: %d separate incidents needed (%d in flat, conspicuous ASes)\n",
+		cost.DispersedIncidents, cost.DispersedFlatHosts)
+	return nil
+}
+
+func blockAwareDemo(study *core.Study) error {
+	fmt.Println("BlockAware: tc - tl > 600s self-check vs the temporal attack")
+	for _, protect := range []bool{false, true} {
+		sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+3)
+		if err != nil {
+			return err
+		}
+		sim.StartMining()
+		sim.Run(6 * time.Hour)
+		victims := attack.FindVictims(sim, 0, study.Opts.NetworkNodes/8)
+		if protect {
+			ba, err := defense.NewBlockAware(sim, victims, defense.BlockAwareConfig{Seed: 7})
+			if err != nil {
+				return err
+			}
+			ba.Start()
+			defer ba.Stop()
+		}
+		res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
+			AttackerShare: 0.30, HoldFor: 8 * time.Hour, HealFor: 2 * time.Hour,
+		}, victims)
+		if err != nil {
+			return err
+		}
+		label := "without BlockAware"
+		if protect {
+			label = "with BlockAware   "
+		}
+		fmt.Printf("  %s: %d/%d victims captured at release, %d txs reversed\n",
+			label, res.CapturedAtRelease, len(victims), res.ReversedTxs)
+	}
+	return nil
+}
+
+func stratumDemo() error {
+	fmt.Println("Stratum dispersal: attack cost to isolate 60% of hash rate")
+	pools := dataset.TableIV()
+	candidates := []topology.ASN{
+		24940, 16276, 37963, 16509, 14061, 7922, 4134, 51167, 45102, 58563,
+		60000, 60001, 60002, 60003, 60004,
+	}
+	spread, err := defense.SpreadStratum(pools, candidates, 4)
+	if err != nil {
+		return err
+	}
+	benefit, err := defense.EvaluateDispersal(pools, spread, 0.60)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  before: %d AS hijacks isolate %.1f%%\n",
+		benefit.Before.ASesHijacked, benefit.Before.ShareIsolated*100)
+	if benefit.After.Feasible {
+		fmt.Printf("  after 4-way dispersal: %d AS hijacks needed\n", benefit.After.ASesHijacked)
+	} else {
+		fmt.Printf("  after 4-way dispersal: infeasible even hijacking all %d candidate ASes\n", len(candidates))
+	}
+	return nil
+}
+
+func routeGuardDemo(study *core.Study) error {
+	fmt.Println("RouteGuard: bogus route purging after a hijack of AS24940")
+	guard, err := defense.NewRouteGuard(study.Pop.Topo)
+	if err != nil {
+		return err
+	}
+	sp, err := attack.NewSpatial(study.Pop)
+	if err != nil {
+		return err
+	}
+	plan, err := sp.PlanAS(666, 24940, 0.95)
+	if err != nil {
+		return err
+	}
+	if _, err := sp.Execute(plan, nil); err != nil {
+		return err
+	}
+	suspicions := guard.Audit()
+	fmt.Printf("  audit flags %d diverted prefixes\n", len(suspicions))
+	purged, err := guard.PurgeSuspicious(suspicions)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  purged %d bogus announcements; re-audit flags %d\n", purged, len(guard.Audit()))
+	return nil
+}

@@ -1,0 +1,116 @@
+// BlockAware: the §VI countermeasure in action. The same temporal attack is
+// run twice — once against defenseless victims and once against victims
+// running the BlockAware self-check (tc - tl > 600 s triggers fresh-peer
+// queries) — and the outcomes are compared. Also demonstrates the other two
+// §VI defenses: stratum-server dispersal and bogus-route purging.
+//
+//	go run ./examples/blockaware
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	study, err := core.NewStudy(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== BlockAware vs the temporal attack ==")
+	for _, protect := range []bool{false, true} {
+		sim, err := study.NewSimFromPopulation(120, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.StartMining()
+		sim.Run(6 * time.Hour)
+		victims := attack.FindVictims(sim, 0, 15)
+		var ba *defense.BlockAware
+		if protect {
+			ba, err = defense.NewBlockAware(sim, victims, defense.BlockAwareConfig{Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ba.Start()
+		}
+		res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
+			AttackerShare: 0.30,
+			HoldFor:       8 * time.Hour,
+			HealFor:       2 * time.Hour,
+		}, victims)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "unprotected"
+		if protect {
+			label = "BlockAware "
+		}
+		fmt.Printf("%s: %2d/%d captured at release, %4d txs reversed",
+			label, res.CapturedAtRelease, len(victims), res.ReversedTxs)
+		if ba != nil {
+			fmt.Printf(" (%d staleness triggers, %d rescues)", ba.Triggers, ba.Rescues)
+			ba.Stop()
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== stratum dispersal ==")
+	pools := dataset.TableIV()
+	before, err := defense.MinASesToIsolate(pools, 0.60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d AS hijacks isolate %.1f%% of hash rate\n",
+		before.ASesHijacked, before.ShareIsolated*100)
+	candidates := []topology.ASN{
+		24940, 16276, 37963, 16509, 14061, 7922, 4134, 51167, 45102, 58563, 60000, 60001,
+	}
+	spread, err := defense.SpreadStratum(pools, candidates, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := defense.MinASesToIsolate(spread, 0.60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if after.Feasible {
+		fmt.Printf("after 4-way dispersal: %d AS hijacks needed\n", after.ASesHijacked)
+	} else {
+		fmt.Printf("after 4-way dispersal: target infeasible (max isolable %.1f%% even with %d hijacks)\n",
+			after.ShareIsolated*100, after.ASesHijacked)
+	}
+
+	fmt.Println("\n== route guard ==")
+	guard, err := defense.NewRouteGuard(study.Pop.Topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := attack.NewSpatial(study.Pop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sp.PlanAS(666, 24940, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sp.Execute(plan, nil); err != nil {
+		log.Fatal(err)
+	}
+	suspicions := guard.Audit()
+	purged, err := guard.PurgeSuspicious(suspicions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hijack of AS24940: audit flagged %d prefixes, purged %d announcements, re-audit clean: %v\n",
+		len(suspicions), purged, len(guard.Audit()) == 0)
+}

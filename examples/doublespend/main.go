@@ -1,0 +1,77 @@
+// Double spend: the economic payoff the paper's implications sections warn
+// about, end to end. A merchant runs a lagging full node; the attacker
+// isolates it (with other stragglers), pays the merchant in a counterfeit
+// block, lets confirmations pile up until the goods ship, then releases the
+// partition — the honest chain erases the payment.
+//
+//	go run ./examples/doublespend
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/spv"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	study, err := core.NewStudy(21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := study.NewSimFromPopulation(120, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wallet users attach to full nodes; some will end up behind victims.
+	fleet, err := spv.NewFleet(sim, 2400, stats.NewRand(2), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim.StartMining()
+	sim.Run(6 * time.Hour)
+	fmt.Printf("network warmed up: %d blocks, %d full nodes, %d wallets\n\n",
+		sim.BlocksProduced(), len(sim.Network.Nodes), fleet.Size())
+
+	victims := attack.FindVictims(sim, 0, 12)
+	victimWallets := 0
+	for _, v := range victims {
+		victimWallets += fleet.ClientsOf(v)
+	}
+	fmt.Printf("attacker isolates %d nodes (serving %d wallets); merchant is among them\n",
+		len(victims), victimWallets)
+
+	res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
+		AttackerShare: 0.30,
+		HoldFor:       8 * time.Hour,
+		HealFor:       4 * time.Hour,
+		TrackPayment:  true,
+	}, victims)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npayment tx %d confirmed in the counterfeit branch\n", res.PaymentTx)
+	fmt.Printf("merchant watched it reach %d confirmations over %d counterfeit blocks\n",
+		res.MerchantConfirmations, res.CounterfeitBlocks)
+	fmt.Printf("(standard acceptance threshold is 6 confirmations — goods shipped)\n\n")
+
+	fmt.Printf("partition released; honest chain (%d blocks mined during the hold) floods back\n",
+		res.HonestBlocksDuringHold)
+	fmt.Printf("victims recovered: %d/%d; transactions reversed across victims: %d\n",
+		res.RecoveredAfterHeal, len(victims), res.ReversedTxs)
+	if res.PaymentReversed && res.MerchantConfirmations >= 6 {
+		fmt.Println("\ndouble spend SUCCEEDED: the payment is gone and the goods are not")
+	} else if res.PaymentReversed {
+		fmt.Println("\npayment reversed, but confirmations were thin — a careful merchant survives")
+	} else {
+		fmt.Println("\ndouble spend failed: the payment survived the reorg")
+	}
+}

@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/topology"
+)
+
+// The cascade effect (§V-A implications): "the attacker does not have to
+// isolate all nodes by hijacking all BGP prefixes in an AS. Isolating a
+// major subset of nodes can eclipse the entire AS" — because nodes relay
+// blocks to each other, cutting the heavily-relied-upon subset starves the
+// rest. The effect requires locality-biased peering (p2p.Config.SameASBias);
+// with uniform peering, the survivors simply lean on their out-of-AS peers.
+
+// CascadeConfig parameterizes the experiment.
+type CascadeConfig struct {
+	// Victim is the AS whose nodes are attacked.
+	Victim topology.ASN
+	// CutFraction of the AS's nodes are blackholed (cheapest-prefix-first
+	// in the real attack; here the first fraction of the AS's node list).
+	CutFraction float64
+	// RunFor is the observation window after the cut.
+	RunFor time.Duration
+}
+
+// Validate rejects unusable parameters.
+func (c CascadeConfig) Validate() error {
+	if c.CutFraction < 0 || c.CutFraction > 1 {
+		return fmt.Errorf("attack: cut fraction %v outside [0,1]", c.CutFraction)
+	}
+	if c.RunFor <= 0 {
+		return errors.New("attack: RunFor must be positive")
+	}
+	return nil
+}
+
+// CascadeResult measures collateral damage on the AS's surviving nodes.
+type CascadeResult struct {
+	// Cut and Survivors are the two halves of the AS's population.
+	Cut, Survivors int
+	// SurvivorsBehind counts surviving AS nodes >= 1 block behind at the
+	// end of the window.
+	SurvivorsBehind int
+	// MeanSurvivorLag is their average blocks-behind.
+	MeanSurvivorLag float64
+	// OutsideBehindFrac is the behind-fraction among non-AS nodes, the
+	// control group.
+	OutsideBehindFrac float64
+}
+
+// ExecuteCascade blackholes a fraction of an AS's nodes on a live
+// simulation and measures how far the AS's surviving nodes fall behind
+// relative to the rest of the network.
+func ExecuteCascade(sim *netsim.Simulation, cfg CascadeConfig) (*CascadeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var members []p2p.NodeID
+	for _, node := range sim.Network.Nodes {
+		if node.Profile.ASN == cfg.Victim && node.Up {
+			members = append(members, node.ID)
+		}
+	}
+	if len(members) < 4 {
+		return nil, fmt.Errorf("attack: AS%d has only %d up nodes in the simulation", cfg.Victim, len(members))
+	}
+	nCut := int(float64(len(members)) * cfg.CutFraction)
+	cut := make(map[p2p.NodeID]bool, nCut)
+	for _, id := range members[:nCut] {
+		cut[id] = true
+	}
+
+	// Blackhole the cut set: no traffic in or out (BGP-level isolation).
+	sim.Network.SetPolicy(func(from, to p2p.NodeID, _ time.Duration) bool {
+		return !cut[from] && !cut[to]
+	})
+	sim.Run(sim.Engine.Now() + cfg.RunFor)
+	sim.Network.SetPolicy(nil)
+
+	res := &CascadeResult{Cut: nCut, Survivors: len(members) - nCut}
+	ref := sim.Network.RefHeight()
+	var lagSum int
+	for _, id := range members[nCut:] {
+		lag := sim.Network.Nodes[id].BlocksBehind(ref)
+		lagSum += lag
+		if lag >= 1 {
+			res.SurvivorsBehind++
+		}
+	}
+	if res.Survivors > 0 {
+		res.MeanSurvivorLag = float64(lagSum) / float64(res.Survivors)
+	}
+	outside, outsideBehind := 0, 0
+	for _, node := range sim.Network.Nodes {
+		if node.Profile.ASN == cfg.Victim || !node.Up {
+			continue
+		}
+		outside++
+		if node.BlocksBehind(ref) >= 1 {
+			outsideBehind++
+		}
+	}
+	if outside > 0 {
+		res.OutsideBehindFrac = float64(outsideBehind) / float64(outside)
+	}
+	return res, nil
+}

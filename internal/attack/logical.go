@@ -1,0 +1,252 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/vulndb"
+)
+
+// Logical partitioning (§V-D): the network runs 288 different client
+// versions; an adversary who controls a popular client (a malicious update,
+// a trojaned download, or an attractive fork) or who can trigger a known
+// client vulnerability partitions the network along software lines.
+
+// VersionExposure is the CVE-join result for one client version.
+type VersionExposure struct {
+	Version string
+	Nodes   int
+	Share   float64
+	CVEs    []vulndb.CVE
+	// MaxCVSS is the highest CVSS score among matched CVEs.
+	MaxCVSS float64
+}
+
+// Exposure joins the population's version census against the vulnerability
+// database, returning per-version exposure sorted by node count descending.
+// Versions without a parseable Core version match no CVEs (but still
+// appear, with an empty CVE list).
+func Exposure(pop *dataset.Population, db *vulndb.DB) []VersionExposure {
+	counts := pop.VersionCounts()
+	out := make([]VersionExposure, 0, len(counts))
+	total := float64(len(pop.Nodes))
+	for version, n := range counts {
+		e := VersionExposure{Version: version, Nodes: n, Share: float64(n) / total}
+		if cves, err := db.Matching(version); err == nil {
+			e.CVEs = cves
+			for _, c := range cves {
+				if c.CVSS > e.MaxCVSS {
+					e.MaxCVSS = c.CVSS
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes > out[j].Nodes
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// VulnerableShare returns the fraction of all nodes running a version
+// matched by at least one CVE with CVSS >= minCVSS.
+func VulnerableShare(pop *dataset.Population, db *vulndb.DB, minCVSS float64) float64 {
+	vulnerable := 0
+	for _, e := range Exposure(pop, db) {
+		if e.MaxCVSS >= minCVSS && len(e.CVEs) > 0 {
+			vulnerable += e.Nodes
+		}
+	}
+	return float64(vulnerable) / float64(len(pop.Nodes))
+}
+
+// LogicalPlan models a malicious-client partition: the attacker influences
+// one client version (update hijack, trojaned binary, or a popular fork)
+// and thereby controls its users.
+type LogicalPlan struct {
+	Version string
+	// ControlledNodes run the targeted version.
+	ControlledNodes int
+	// NetworkShare is the controlled fraction of the population.
+	NetworkShare float64
+	// SyncedControl estimates control inside the synced (green) region,
+	// assuming version adoption is independent of sync state.
+	SyncedControl float64
+}
+
+// PlanVersionCapture prepares a logical partition via a specific client
+// version. It fails for versions nobody runs.
+func PlanVersionCapture(pop *dataset.Population, version string) (*LogicalPlan, error) {
+	counts := pop.VersionCounts()
+	n, ok := counts[version]
+	if !ok || n == 0 {
+		return nil, fmt.Errorf("attack: version %q not in use", version)
+	}
+	share := float64(n) / float64(len(pop.Nodes))
+	return &LogicalPlan{
+		Version:         version,
+		ControlledNodes: n,
+		NetworkShare:    share,
+		SyncedControl:   share,
+	}, nil
+}
+
+// CrashImpact simulates triggering a remote-DoS CVE (e.g. CVE-2018-17144's
+// duplicate-inputs crash): every up node running an affected version goes
+// down. It reports the blast radius.
+type CrashImpact struct {
+	CVE vulndb.CVE
+	// NodesDown is how many up nodes crash.
+	NodesDown int
+	// UpBefore and UpAfter are the reachable-population sizes.
+	UpBefore, UpAfter int
+	// DownShare is NodesDown / UpBefore.
+	DownShare float64
+}
+
+// SimulateCrashExploit computes the impact of exploiting the given CVE
+// across the population. It does not mutate the population.
+func SimulateCrashExploit(pop *dataset.Population, db *vulndb.DB, cveID string) (*CrashImpact, error) {
+	cve, ok := db.Lookup(cveID)
+	if !ok {
+		return nil, fmt.Errorf("attack: unknown CVE %q", cveID)
+	}
+	impact := &CrashImpact{CVE: cve}
+	for _, n := range pop.Nodes {
+		if !n.Up {
+			continue
+		}
+		impact.UpBefore++
+		v, err := vulndb.ParseVersion(n.Version)
+		if err != nil {
+			continue // non-Core client: not affected by Core CVEs
+		}
+		if cve.Affects(v) {
+			impact.NodesDown++
+		}
+	}
+	impact.UpAfter = impact.UpBefore - impact.NodesDown
+	if impact.UpBefore > 0 {
+		impact.DownShare = float64(impact.NodesDown) / float64(impact.UpBefore)
+	}
+	return impact, nil
+}
+
+// LogicalCaptureResult measures a live-network logical attack: every node
+// running the attacker-controlled client version silently stops relaying
+// (a "surreptitious modification" in §V-D's words — the node seems normal
+// but facilitates the attack), and the rest of the network degrades in
+// proportion to how load-bearing the silent nodes were.
+type LogicalCaptureResult struct {
+	// Controlled nodes run the captured version.
+	Controlled int
+	// Share of the simulated population they represent.
+	Share float64
+	// HonestBehindFrac is the fraction of non-controlled up nodes >= 1
+	// block behind after the observation window.
+	HonestBehindFrac float64
+	// BaselineBehindFrac is the same fraction from an identical run
+	// without the attack.
+	BaselineBehindFrac float64
+}
+
+// ExecuteLogicalCapture runs the relay-silence attack on a simulation whose
+// node profiles carry client versions: nodes running any of the captured
+// versions receive blocks but never forward or serve them. The returned
+// result compares network health against the caller-provided baseline
+// fraction (run the same simulation without the policy to obtain it).
+func ExecuteLogicalCapture(sim *netsim.Simulation, versions []string, runFor time.Duration, baselineBehindFrac float64) (*LogicalCaptureResult, error) {
+	if len(versions) == 0 {
+		return nil, errors.New("attack: no captured versions")
+	}
+	if runFor <= 0 {
+		return nil, errors.New("attack: runFor must be positive")
+	}
+	captured := map[string]bool{}
+	for _, v := range versions {
+		captured[v] = true
+	}
+	controlled := map[p2p.NodeID]bool{}
+	for _, node := range sim.Network.Nodes {
+		if captured[node.Profile.Version] && !sim.IsGateway(node.ID) {
+			controlled[node.ID] = true
+		}
+	}
+	if len(controlled) == 0 {
+		return nil, fmt.Errorf("attack: no nodes run versions %v", versions)
+	}
+	res := &LogicalCaptureResult{
+		Controlled:         len(controlled),
+		Share:              float64(len(controlled)) / float64(len(sim.Network.Nodes)),
+		BaselineBehindFrac: baselineBehindFrac,
+	}
+	// Controlled nodes receive but never send: inv, getdata replies, and
+	// block relays all silently vanish.
+	sim.Network.SetPolicy(func(from, _ p2p.NodeID, _ time.Duration) bool {
+		return !controlled[from]
+	})
+	sim.Run(sim.Engine.Now() + runFor)
+	sim.Network.SetPolicy(nil)
+
+	ref := sim.Network.RefHeight()
+	honest, behind := 0, 0
+	for _, node := range sim.Network.Nodes {
+		if controlled[node.ID] || !node.Up {
+			continue
+		}
+		honest++
+		if node.BlocksBehind(ref) >= 1 {
+			behind++
+		}
+	}
+	if honest > 0 {
+		res.HonestBehindFrac = float64(behind) / float64(honest)
+	}
+	return res, nil
+}
+
+// DiversityIndex returns the Herfindahl-Hirschman concentration of client
+// versions (Σ share²): 1 means a software monoculture, ~0 maximal
+// diversity. §VI argues diversity resists logical attacks while §V-D shows
+// it widens the update lag — this is the quantity that trade-off moves.
+func DiversityIndex(pop *dataset.Population) float64 {
+	total := float64(len(pop.Nodes))
+	if total == 0 {
+		return 0
+	}
+	var hhi float64
+	for _, n := range pop.VersionCounts() {
+		s := float64(n) / total
+		hhi += s * s
+	}
+	return hhi
+}
+
+// TopCaptureTargets returns the most attractive versions for a
+// malicious-client campaign: the n largest user bases.
+func TopCaptureTargets(pop *dataset.Population, n int) ([]*LogicalPlan, error) {
+	if n <= 0 {
+		return nil, errors.New("attack: n must be positive")
+	}
+	exposures := Exposure(pop, vulndb.New())
+	if n > len(exposures) {
+		n = len(exposures)
+	}
+	out := make([]*LogicalPlan, 0, n)
+	for _, e := range exposures[:n] {
+		plan, err := PlanVersionCapture(pop, e.Version)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plan)
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/vulndb"
+)
+
+func TestExposureOrderingAndJoin(t *testing.T) {
+	pop := testPop(t)
+	db := vulndb.New()
+	exposures := Exposure(pop, db)
+	if len(exposures) == 0 {
+		t.Fatal("no exposures")
+	}
+	// Sorted by node count descending; top is v0.16.0.
+	if exposures[0].Version != "Bitcoin Core v0.16.0" {
+		t.Errorf("top version = %q", exposures[0].Version)
+	}
+	for i := 1; i < len(exposures); i++ {
+		if exposures[i].Nodes > exposures[i-1].Nodes {
+			t.Fatal("not sorted")
+		}
+	}
+	// Every Core version at the collection date matches the unfixed pair.
+	if len(exposures[0].CVEs) == 0 {
+		t.Error("v0.16.0 matched no CVEs (CVE-2018-17144 should apply)")
+	}
+	if exposures[0].MaxCVSS < 7.5 {
+		t.Errorf("v0.16.0 MaxCVSS = %v", exposures[0].MaxCVSS)
+	}
+	// Shares sum to ~1.
+	var total float64
+	for _, e := range exposures {
+		total += e.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+}
+
+func TestVulnerableShare(t *testing.T) {
+	pop := testPop(t)
+	db := vulndb.New()
+	all := VulnerableShare(pop, db, 0)
+	high := VulnerableShare(pop, db, 7.5)
+	critical := VulnerableShare(pop, db, 9.9)
+	if all < high || high < critical {
+		t.Errorf("shares not monotone: %v %v %v", all, high, critical)
+	}
+	// CVE-2018-17144 "can be found in all client versions": the bulk of the
+	// network (all Core >= 0.14 plus older versions' own CVEs) is exposed.
+	if all < 0.5 {
+		t.Errorf("vulnerable share = %v, want >= 0.5", all)
+	}
+	if critical != 0 {
+		t.Errorf("no embedded CVE reaches CVSS 9.9, share = %v", critical)
+	}
+}
+
+func TestPlanVersionCapture(t *testing.T) {
+	pop := testPop(t)
+	plan, err := PlanVersionCapture(pop, "Bitcoin Core v0.16.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table VIII: 36.28% of the network runs v0.16.0 — controlling that
+	// client partitions over a third of the network.
+	if math.Abs(plan.NetworkShare-0.3628) > 0.01 {
+		t.Errorf("network share = %v, want ~0.3628", plan.NetworkShare)
+	}
+	if _, err := PlanVersionCapture(pop, "NoSuchClient v9"); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestSimulateCrashExploit(t *testing.T) {
+	pop := testPop(t)
+	db := vulndb.New()
+	impact, err := SimulateCrashExploit(pop, db, "CVE-2018-17144")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.UpBefore == 0 || impact.UpAfter >= impact.UpBefore {
+		t.Fatalf("impact = %+v", impact)
+	}
+	// v0.14+ dominates the network: the crash takes out most of it.
+	if impact.DownShare < 0.5 {
+		t.Errorf("down share = %v, want >= 0.5 (vulnerability spans all modern versions)", impact.DownShare)
+	}
+	if impact.UpBefore-impact.NodesDown != impact.UpAfter {
+		t.Error("inconsistent counts")
+	}
+	// An ancient, long-fixed CVE touches almost nobody at the 2018 snapshot.
+	old, err := SimulateCrashExploit(pop, db, "CVE-2010-5139")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.DownShare > 0.01 {
+		t.Errorf("ancient CVE down share = %v", old.DownShare)
+	}
+	if _, err := SimulateCrashExploit(pop, db, "CVE-0000-0000"); err == nil {
+		t.Error("unknown CVE accepted")
+	}
+}
+
+func TestDiversityIndex(t *testing.T) {
+	pop := testPop(t)
+	hhi := DiversityIndex(pop)
+	// 288 variants with a 36% head: HHI should be well below monoculture
+	// but clearly above the uniform-over-288 floor (~0.0035).
+	if hhi <= 0.0035 || hhi >= 0.5 {
+		t.Errorf("HHI = %v outside plausible band", hhi)
+	}
+	// Expected roughly 0.3628^2 + 0.2752^2 + ... ~ 0.21.
+	if math.Abs(hhi-0.21) > 0.05 {
+		t.Errorf("HHI = %v, want ~0.21", hhi)
+	}
+}
+
+func TestExecuteLogicalCapture(t *testing.T) {
+	// Build a profiled simulation: 64% of nodes run the two captured
+	// versions (Table VIII's v0.16.0 + v0.15.1 shares), the rest run a
+	// third client.
+	build := func(seed int64) *netsim.Simulation {
+		nodes := make([]*p2p.Node, 100)
+		for i := range nodes {
+			version := "other"
+			switch {
+			case i < 36:
+				version = "Bitcoin Core v0.16.0"
+			case i < 64:
+				version = "Bitcoin Core v0.15.1"
+			}
+			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{Version: version})
+		}
+		sim, err := netsim.NewWithNodes(netsim.Config{
+			Nodes: 100, Seed: seed,
+			GatewayNodes: []p2p.NodeID{99}, // gateway runs "other"
+			Gossip:       p2p.Config{FailureRate: 0.10},
+		}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.StartMining()
+		sim.Run(3 * time.Hour)
+		return sim
+	}
+	// Baseline sanity: the same window without the attack keeps the
+	// network healthy.
+	baseSim := build(71)
+	baseSim.Run(baseSim.Engine.Now() + 12*time.Hour)
+	baseLag := baseSim.LagHistogram()
+	baseBehind := 1 - float64(baseLag.Synced)/float64(baseLag.Total())
+	if baseBehind > 0.05 {
+		t.Fatalf("baseline already degraded: %.2f behind", baseBehind)
+	}
+
+	sim := build(71)
+	res, err := ExecuteLogicalCapture(sim,
+		[]string{"Bitcoin Core v0.16.0", "Bitcoin Core v0.15.1"}, 12*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controlled != 64 {
+		t.Errorf("controlled = %d, want 64", res.Controlled)
+	}
+	// With 64% of relays silent, the honest remainder degrades visibly.
+	if res.HonestBehindFrac < 0.05 {
+		t.Errorf("honest behind fraction = %.2f; relay silence had no effect", res.HonestBehindFrac)
+	}
+
+	// Error paths.
+	if _, err := ExecuteLogicalCapture(sim, nil, time.Hour, 0); err == nil {
+		t.Error("empty version list accepted")
+	}
+	if _, err := ExecuteLogicalCapture(sim, []string{"x"}, 0, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := ExecuteLogicalCapture(sim, []string{"nobody-runs-this"}, time.Hour, 0); err == nil {
+		t.Error("unmatched version accepted")
+	}
+}
+
+func TestTopCaptureTargets(t *testing.T) {
+	pop := testPop(t)
+	plans, err := TopCaptureTargets(pop, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	if plans[0].Version != "Bitcoin Core v0.16.0" || plans[1].Version != "Bitcoin Core v0.15.1" {
+		t.Errorf("top targets = %q, %q", plans[0].Version, plans[1].Version)
+	}
+	if plans[0].NetworkShare < plans[1].NetworkShare {
+		t.Error("targets not ordered by share")
+	}
+	if _, err := TopCaptureTargets(pop, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/topology"
+)
+
+func TestMajorityConfigValidate(t *testing.T) {
+	ok := MajorityConfig{AttackerShare: 0.3, IsolatedShare: 0.5, MineFor: time.Hour}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []MajorityConfig{
+		{AttackerShare: 0, IsolatedShare: 0.5, MineFor: time.Hour},
+		{AttackerShare: 1, IsolatedShare: 0, MineFor: time.Hour},
+		{AttackerShare: 0.5, IsolatedShare: 0.5, MineFor: time.Hour},
+		{AttackerShare: 0.3, IsolatedShare: -0.1, MineFor: time.Hour},
+		{AttackerShare: 0.3, IsolatedShare: 0.3, MineFor: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMajority51WinsAfterIsolation(t *testing.T) {
+	// Table IV scenario: attacker with 30% of hash rate hijacks the three
+	// stratum ASes, cutting 65.7% of honest power. Effective shares: 30%
+	// attacker vs 4.3% honest — the attacker's chain must win and rewrite
+	// history across the network.
+	sim := warmSim(t, 60, 51)
+	res, err := ExecuteMajority51(sim, MajorityConfig{
+		AttackerShare: 0.30,
+		IsolatedShare: 0.657,
+		MineFor:       24 * time.Hour,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackerWins {
+		t.Fatalf("attacker lost with 30%% vs 4.3%%: %+v", res)
+	}
+	if res.AttackerBlocks <= res.HonestBlocks {
+		t.Errorf("attacker blocks %d <= honest %d", res.AttackerBlocks, res.HonestBlocks)
+	}
+	// The rewrite must be adopted by (nearly) the whole network.
+	if res.AdoptedBy < 55 {
+		t.Errorf("private chain adopted by %d of 60 nodes", res.AdoptedBy)
+	}
+}
+
+func TestMajority51LosesWithoutIsolation(t *testing.T) {
+	// Without the spatial assist, 30% vs 70% almost surely loses over a
+	// long window.
+	sim := warmSim(t, 40, 53)
+	res, err := ExecuteMajority51(sim, MajorityConfig{
+		AttackerShare: 0.30,
+		IsolatedShare: 0,
+		MineFor:       48 * time.Hour,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackerWins {
+		t.Errorf("attacker won 30%% vs 70%% over 48h: %+v", res)
+	}
+	if res.ReorgDepth != 0 || res.AdoptedBy != 0 {
+		t.Errorf("losing attacker should publish nothing: %+v", res)
+	}
+}
+
+func TestCascadeRequiresLocalityBias(t *testing.T) {
+	// Build two simulations whose nodes carry AS profiles: one with
+	// locality-biased peering, one uniform. Cut 80% of the victim AS and
+	// compare the survivors' lag.
+	build := func(bias float64) *netsim.Simulation {
+		nodes := make([]*p2p.Node, 100)
+		for i := range nodes {
+			asn := topology.ASN(100)
+			if i >= 30 {
+				asn = topology.ASN(200 + i%5)
+			}
+			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{ASN: asn})
+		}
+		sim, err := netsim.NewWithNodes(netsim.Config{
+			Nodes: 100, Seed: 31,
+			Gossip: p2p.Config{FailureRate: 0.10, SameASBias: bias},
+		}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.StartMining()
+		sim.Run(3 * time.Hour)
+		return sim
+	}
+	run := func(bias float64) *CascadeResult {
+		sim := build(bias)
+		res, err := ExecuteCascade(sim, CascadeConfig{
+			Victim:      100,
+			CutFraction: 0.8,
+			RunFor:      12 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	biased := run(0.9)
+	uniform := run(0)
+	if biased.Cut == 0 || biased.Survivors == 0 {
+		t.Fatalf("bad split: %+v", biased)
+	}
+	// With heavy locality bias, the survivors starve (cascade); with
+	// uniform peering they keep up via out-of-AS peers.
+	if biased.MeanSurvivorLag <= uniform.MeanSurvivorLag {
+		t.Errorf("cascade absent: biased lag %.2f <= uniform lag %.2f",
+			biased.MeanSurvivorLag, uniform.MeanSurvivorLag)
+	}
+	if biased.SurvivorsBehind == 0 {
+		t.Error("no survivors behind despite 80% cut and 0.9 bias")
+	}
+	// The control group outside the AS stays healthy in both runs.
+	if biased.OutsideBehindFrac > 0.3 {
+		t.Errorf("outside behind fraction %.2f too high", biased.OutsideBehindFrac)
+	}
+}
+
+func TestCascadeValidation(t *testing.T) {
+	sim := warmSim(t, 30, 3)
+	if _, err := ExecuteCascade(sim, CascadeConfig{Victim: 1, CutFraction: 2, RunFor: time.Hour}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := ExecuteCascade(sim, CascadeConfig{Victim: 1, CutFraction: 0.5, RunFor: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+	// warmSim nodes carry no AS profile: the victim AS has no members.
+	if _, err := ExecuteCascade(sim, CascadeConfig{Victim: 12345, CutFraction: 0.5, RunFor: time.Hour}); err == nil {
+		t.Error("empty AS accepted")
+	}
+}
+
+func TestDoubleSpendThroughTemporalPartition(t *testing.T) {
+	sim := warmSim(t, 80, 61)
+	victims := FindVictims(sim, 0, 14)
+	res, err := ExecuteTemporalOn(sim, TemporalConfig{
+		AttackerShare: 0.30,
+		HoldFor:       8 * time.Hour,
+		HealFor:       4 * time.Hour,
+		TrackPayment:  true,
+	}, victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PaymentTx == 0 {
+		t.Fatal("no payment planted")
+	}
+	// The merchant saw the payment confirm and deepen during the hold...
+	if res.MerchantConfirmations < 2 {
+		t.Errorf("merchant confirmations = %d, want >= 2 (enough for most merchants)", res.MerchantConfirmations)
+	}
+	// ...and healing erased it: double-spend complete.
+	if !res.PaymentReversed {
+		t.Error("payment survived the heal; double-spend failed")
+	}
+}
+
+func TestPaymentNotTrackedByDefault(t *testing.T) {
+	sim := warmSim(t, 40, 63)
+	victims := FindVictims(sim, 0, 8)
+	res, err := ExecuteTemporalOn(sim, TemporalConfig{
+		AttackerShare: 0.30, HoldFor: 4 * time.Hour, HealFor: 2 * time.Hour,
+	}, victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PaymentTx != 0 || res.MerchantConfirmations != 0 || res.PaymentReversed {
+		t.Errorf("payment fields set without TrackPayment: %+v", res)
+	}
+}

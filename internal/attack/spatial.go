@@ -1,0 +1,212 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/measure"
+	"repro/internal/mining"
+	"repro/internal/topology"
+)
+
+// Spatial partitioning (§V-A): a malicious AS, organization, or
+// nation-state announces BGP prefixes belonging to victim ASes, isolating
+// the full nodes and stratum servers numbered under them.
+
+// SpatialPlan is a prepared BGP hijack: the prefix set to announce and the
+// expected capture.
+type SpatialPlan struct {
+	Attacker topology.ASN
+	// Targets lists each victim AS and the prefixes to hijack there, in
+	// priority (node-density) order.
+	Targets []SpatialTarget
+	// ExpectedNodes is the number of full nodes the plan captures.
+	ExpectedNodes int
+	// HijackCount is the total number of prefix announcements required —
+	// the paper's cost metric ("the number of prefixes to be hijacked as an
+	// effort").
+	HijackCount int
+}
+
+// SpatialTarget is one victim AS within a plan.
+type SpatialTarget struct {
+	Victim   topology.ASN
+	Prefixes []topology.Prefix
+	Nodes    int
+}
+
+// Spatial plans and executes BGP hijacks over a population.
+type Spatial struct {
+	pop *dataset.Population
+}
+
+// NewSpatial returns a spatial attacker over the population.
+func NewSpatial(pop *dataset.Population) (*Spatial, error) {
+	if pop == nil {
+		return nil, errors.New("attack: nil population")
+	}
+	return &Spatial{pop: pop}, nil
+}
+
+// PlanAS prepares a hijack capturing at least frac of the victim AS's
+// nodes using the fewest prefixes (Figure 4's curve gives the cost).
+func (s *Spatial) PlanAS(attacker, victim topology.ASN, frac float64) (*SpatialPlan, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("attack: fraction %v outside (0,1]", frac)
+	}
+	prefixes, err := measure.OrderedPrefixes(s.pop, victim)
+	if err != nil {
+		return nil, err
+	}
+	nodes := s.pop.NodesInAS(victim)
+	perPrefix := map[topology.Prefix]int{}
+	for _, n := range nodes {
+		perPrefix[n.Prefix]++
+	}
+	need := int(float64(len(nodes))*frac + 0.999999)
+	var chosen []topology.Prefix
+	captured := 0
+	for _, pfx := range prefixes {
+		if captured >= need {
+			break
+		}
+		chosen = append(chosen, pfx)
+		captured += perPrefix[pfx]
+	}
+	if captured < need {
+		return nil, fmt.Errorf("attack: cannot capture %v of AS%d", frac, victim)
+	}
+	return &SpatialPlan{
+		Attacker: attacker,
+		Targets: []SpatialTarget{
+			{Victim: victim, Prefixes: chosen, Nodes: captured},
+		},
+		ExpectedNodes: captured,
+		HijackCount:   len(chosen),
+	}, nil
+}
+
+// PlanOrganization prepares a full hijack of every AS owned by an
+// organization — the paper's organization-level amplification (Amazon and
+// AliBaba own several ASes each).
+func (s *Spatial) PlanOrganization(attacker topology.ASN, org string) (*SpatialPlan, error) {
+	ases := s.pop.Topo.ASesOfOrg(org)
+	if len(ases) == 0 {
+		return nil, fmt.Errorf("attack: organization %q unknown or hosts nothing", org)
+	}
+	plan := &SpatialPlan{Attacker: attacker}
+	for _, as := range ases {
+		target, err := s.planWholeAS(as.Number)
+		if err != nil {
+			return nil, err
+		}
+		plan.Targets = append(plan.Targets, target)
+		plan.ExpectedNodes += target.Nodes
+		plan.HijackCount += len(target.Prefixes)
+	}
+	return plan, nil
+}
+
+// PlanCountry prepares the nation-state scenario (§III): hijack/block every
+// AS registered in a country.
+func (s *Spatial) PlanCountry(attacker topology.ASN, country string) (*SpatialPlan, error) {
+	ases := s.pop.Topo.ASesInCountry(country)
+	if len(ases) == 0 {
+		return nil, fmt.Errorf("attack: no ASes in country %q", country)
+	}
+	plan := &SpatialPlan{Attacker: attacker}
+	for _, asn := range ases {
+		target, err := s.planWholeAS(asn)
+		if err != nil {
+			return nil, err
+		}
+		plan.Targets = append(plan.Targets, target)
+		plan.ExpectedNodes += target.Nodes
+		plan.HijackCount += len(target.Prefixes)
+	}
+	return plan, nil
+}
+
+func (s *Spatial) planWholeAS(victim topology.ASN) (SpatialTarget, error) {
+	prefixes, err := measure.OrderedPrefixes(s.pop, victim)
+	if err != nil {
+		return SpatialTarget{}, err
+	}
+	return SpatialTarget{
+		Victim:   victim,
+		Prefixes: prefixes,
+		Nodes:    len(s.pop.NodesInAS(victim)),
+	}, nil
+}
+
+// ExecutionResult reports what a hijack actually captured once announced.
+type ExecutionResult struct {
+	// CapturedNodes is the count of nodes whose traffic now resolves to the
+	// attacker.
+	CapturedNodes int
+	// CapturedIDs lists their node IDs (ascending).
+	CapturedIDs []int
+	// Announcements is the number of hijack routes injected.
+	Announcements int
+	// IsolatedHashShare is the mining hash share cut off, if a pool roster
+	// was supplied.
+	IsolatedHashShare float64
+}
+
+// Execute announces the plan's hijack prefixes into the population's route
+// table and measures the capture by resolving every victim-AS node's IP.
+// Pools, if non-nil, contribute the isolated-hash-share measurement
+// (Table IV: hijacking 3 ASes isolates >60% of hash power).
+func (s *Spatial) Execute(plan *SpatialPlan, pools *mining.PoolSet) (*ExecutionResult, error) {
+	if plan == nil {
+		return nil, errors.New("attack: nil plan")
+	}
+	rt := s.pop.Topo.Routes()
+	res := &ExecutionResult{}
+	victimASes := map[topology.ASN]bool{}
+	hijacksBefore := rt.HijackCount()
+	for _, target := range plan.Targets {
+		victimASes[target.Victim] = true
+		for _, pfx := range target.Prefixes {
+			if err := rt.HijackPrefix(plan.Attacker, pfx); err != nil {
+				return nil, fmt.Errorf("attack: announce %v: %w", pfx, err)
+			}
+		}
+	}
+	res.Announcements = rt.HijackCount() - hijacksBefore
+	for _, n := range s.pop.Nodes {
+		if n.Family == topology.FamilyOnion {
+			continue
+		}
+		if !victimASes[n.ASN] {
+			continue
+		}
+		if got, ok := rt.Resolve(n.IP); ok && got == plan.Attacker {
+			res.CapturedNodes++
+			res.CapturedIDs = append(res.CapturedIDs, n.ID)
+		}
+	}
+	sort.Ints(res.CapturedIDs)
+	if pools != nil {
+		res.IsolatedHashShare = pools.ShareBehindASes(victimASes)
+	}
+	return res, nil
+}
+
+// Withdraw purges all hijack announcements, restoring legitimate routing
+// (the route-purging countermeasure; also used between experiments).
+func (s *Spatial) Withdraw() int {
+	return s.pop.Topo.Routes().WithdrawHijacks()
+}
+
+// MinerIsolation reports the hash share isolated by hijacking a set of
+// ASes, per Table IV's stratum placement.
+func MinerIsolation(pools *mining.PoolSet, ases []topology.ASN) float64 {
+	set := map[topology.ASN]bool{}
+	for _, a := range ases {
+		set[a] = true
+	}
+	return pools.ShareBehindASes(set)
+}

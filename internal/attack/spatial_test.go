@@ -1,0 +1,208 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mining"
+	"repro/internal/topology"
+)
+
+var sharedPop *dataset.Population
+
+// freshPop returns the shared population; tests that mutate routing must
+// call (*Spatial).Withdraw afterwards.
+func testPop(t *testing.T) *dataset.Population {
+	t.Helper()
+	if sharedPop == nil {
+		p, err := dataset.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPop = p
+	}
+	return sharedPop
+}
+
+func testPools(t *testing.T) *mining.PoolSet {
+	t.Helper()
+	set, err := mining.NewPoolSet(dataset.TableIV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestNewSpatialNil(t *testing.T) {
+	if _, err := NewSpatial(nil); err == nil {
+		t.Error("nil population accepted")
+	}
+}
+
+func TestPlanASHetzner(t *testing.T) {
+	s, err := NewSpatial(testPop(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4 headline: 95% of AS24940's 1,030 nodes within ~15 prefixes.
+	plan, err := s.PlanAS(666, 24940, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HijackCount > 25 {
+		t.Errorf("hijacks = %d, want <= 25 (paper ~15)", plan.HijackCount)
+	}
+	if plan.ExpectedNodes < 978 {
+		t.Errorf("expected nodes = %d, want >= 978", plan.ExpectedNodes)
+	}
+	// Cheaper targets need fewer prefixes for less coverage.
+	half, err := s.PlanAS(666, 24940, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.HijackCount >= plan.HijackCount {
+		t.Error("50% capture should cost fewer hijacks than 95%")
+	}
+}
+
+func TestPlanASValidation(t *testing.T) {
+	s, _ := NewSpatial(testPop(t))
+	if _, err := s.PlanAS(666, 24940, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := s.PlanAS(666, 24940, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := s.PlanAS(666, 99999999, 0.5); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestExecuteCapturesPlannedNodes(t *testing.T) {
+	pop := testPop(t)
+	s, _ := NewSpatial(pop)
+	plan, err := s.PlanAS(666, 24940, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Withdraw()
+	if res.CapturedNodes != plan.ExpectedNodes {
+		t.Errorf("captured %d, plan expected %d", res.CapturedNodes, plan.ExpectedNodes)
+	}
+	// Each /20 hijack announces two /21 halves.
+	if res.Announcements != 2*plan.HijackCount {
+		t.Errorf("announcements = %d, want %d", res.Announcements, 2*plan.HijackCount)
+	}
+	if len(res.CapturedIDs) != res.CapturedNodes {
+		t.Errorf("IDs = %d, count = %d", len(res.CapturedIDs), res.CapturedNodes)
+	}
+	// Captured nodes must actually resolve to the attacker.
+	for _, id := range res.CapturedIDs[:10] {
+		n := pop.Nodes[id]
+		if got, ok := pop.Topo.Resolve(n.IP); !ok || got != 666 {
+			t.Fatalf("node %d resolves to AS%d, want attacker", id, got)
+		}
+	}
+}
+
+func TestWithdrawRestoresRouting(t *testing.T) {
+	pop := testPop(t)
+	s, _ := NewSpatial(pop)
+	plan, err := s.PlanAS(666, 16276, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	purged := s.Withdraw()
+	if purged == 0 {
+		t.Fatal("nothing purged")
+	}
+	for _, n := range pop.NodesInAS(16276)[:5] {
+		if got, ok := pop.Topo.Resolve(n.IP); !ok || got != 16276 {
+			t.Fatalf("after purge node resolves to AS%d", got)
+		}
+	}
+}
+
+func TestPlanOrganizationAmplification(t *testing.T) {
+	pop := testPop(t)
+	s, _ := NewSpatial(pop)
+	plan, err := s.PlanOrganization(666, "Amazon.com, Inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amazon owns two ASes (16509 + 14618) totalling 756 nodes.
+	if len(plan.Targets) != 2 {
+		t.Fatalf("targets = %d, want 2", len(plan.Targets))
+	}
+	if plan.ExpectedNodes != 756 {
+		t.Errorf("expected nodes = %d, want 756", plan.ExpectedNodes)
+	}
+	if _, err := s.PlanOrganization(666, "nonexistent"); err == nil {
+		t.Error("unknown org accepted")
+	}
+}
+
+func TestPlanCountryNationState(t *testing.T) {
+	pop := testPop(t)
+	s, _ := NewSpatial(pop)
+	plan, err := s.PlanCountry(666, "CN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// China hosts AS37963, AS4134, AS45102, AS58563 in the head: >= 1,300
+	// nodes (and 60% of mining traffic, checked below).
+	if plan.ExpectedNodes < 1300 {
+		t.Errorf("CN nodes = %d, want >= 1300", plan.ExpectedNodes)
+	}
+	pools := testPools(t)
+	var cnASes []topology.ASN
+	for _, tgt := range plan.Targets {
+		cnASes = append(cnASes, tgt.Victim)
+	}
+	share := MinerIsolation(pools, cnASes)
+	// "60% of the mining traffic goes through China".
+	if share < 0.60 {
+		t.Errorf("CN mining share = %v, want >= 0.60", share)
+	}
+	if _, err := s.PlanCountry(666, "XX"); err == nil {
+		t.Error("unknown country accepted")
+	}
+}
+
+func TestExecuteWithPoolsTableIV(t *testing.T) {
+	pop := testPop(t)
+	s, _ := NewSpatial(pop)
+	pools := testPools(t)
+	// Hijack the three Table IV ASes; isolated share must be 65.7%.
+	plan := &SpatialPlan{Attacker: 666}
+	for _, asn := range []topology.ASN{37963, 45102, 58563} {
+		target, err := s.planWholeAS(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Targets = append(plan.Targets, target)
+	}
+	res, err := s.Execute(plan, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Withdraw()
+	if math.Abs(res.IsolatedHashShare-0.657) > 1e-9 {
+		t.Errorf("isolated hash share = %v, want 0.657", res.IsolatedHashShare)
+	}
+}
+
+func TestExecuteNilPlan(t *testing.T) {
+	s, _ := NewSpatial(testPop(t))
+	if _, err := s.Execute(nil, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

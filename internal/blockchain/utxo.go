@@ -1,0 +1,114 @@
+package blockchain
+
+import (
+	"fmt"
+)
+
+// UTXOSet is a minimal unspent-transaction bookkeeping layer. The paper's
+// implications for temporal partitioning (§V-B) note that healing a fork
+// "will require a major update on the set of all UTXO's at each node, and a
+// system-wide check on the transactions being reversed"; this type lets the
+// experiments quantify that churn.
+//
+// The model is deliberately simple: each TxID is an atomic coin that is
+// created when first confirmed and can be spent (consumed) by a later
+// transaction naming it. Double-spend detection — the headline risk of
+// partitioning — falls out naturally: two branches confirming transactions
+// that spend the same coin conflict.
+type UTXOSet struct {
+	unspent map[TxID]bool
+	spends  map[TxID]TxID // spender -> coin consumed
+}
+
+// NewUTXOSet returns an empty set.
+func NewUTXOSet() *UTXOSet {
+	return &UTXOSet{unspent: map[TxID]bool{}, spends: map[TxID]TxID{}}
+}
+
+// Size returns the number of unspent coins.
+func (u *UTXOSet) Size() int { return len(u.unspent) }
+
+// Unspent reports whether the coin exists and is unspent.
+func (u *UTXOSet) Unspent(id TxID) bool { return u.unspent[id] }
+
+// Confirm applies a confirmed transaction: it creates coin id, and if the
+// transaction declares a spend of a prior coin, consumes it. Spending an
+// unknown or already-spent coin is the double-spend signal and returns an
+// error.
+func (u *UTXOSet) Confirm(id TxID, spends TxID, hasSpend bool) error {
+	if u.unspent[id] {
+		return fmt.Errorf("blockchain: coin %d already exists", id)
+	}
+	if hasSpend {
+		if !u.unspent[spends] {
+			return fmt.Errorf("blockchain: tx %d double-spends or spends unknown coin %d", id, spends)
+		}
+		delete(u.unspent, spends)
+		u.spends[id] = spends
+	}
+	u.unspent[id] = true
+	return nil
+}
+
+// Revert undoes a previously confirmed transaction during a reorg: the
+// created coin disappears and any consumed coin is restored.
+func (u *UTXOSet) Revert(id TxID) error {
+	if !u.unspent[id] {
+		return fmt.Errorf("blockchain: cannot revert unknown or spent coin %d", id)
+	}
+	delete(u.unspent, id)
+	if spent, ok := u.spends[id]; ok {
+		u.unspent[spent] = true
+		delete(u.spends, id)
+	}
+	return nil
+}
+
+// ApplyReorg replays a reorg against the set, reverting abandoned blocks'
+// transactions (tip-first) and confirming adopted ones (ancestor-first).
+// Transactions present in both branches are left untouched. It returns the
+// number of reverted and newly confirmed transactions.
+func (u *UTXOSet) ApplyReorg(r *Reorg) (reverted, confirmed int, err error) {
+	if r == nil {
+		return 0, 0, nil
+	}
+	inAdopted := map[TxID]bool{}
+	for _, b := range r.Adopted {
+		for _, tx := range b.Txs {
+			inAdopted[tx] = true
+		}
+	}
+	inAbandoned := map[TxID]bool{}
+	for _, b := range r.Abandoned {
+		for _, tx := range b.Txs {
+			inAbandoned[tx] = true
+		}
+	}
+	// Revert tip-first.
+	for i := len(r.Abandoned) - 1; i >= 0; i-- {
+		b := r.Abandoned[i]
+		for j := len(b.Txs) - 1; j >= 0; j-- {
+			tx := b.Txs[j]
+			if inAdopted[tx] {
+				continue
+			}
+			if err := u.Revert(tx); err != nil {
+				return reverted, confirmed, fmt.Errorf("revert block %v: %w", b.Hash, err)
+			}
+			reverted++
+		}
+	}
+	// Confirm ancestor-first.
+	for _, b := range r.Adopted {
+		for _, tx := range b.Txs {
+			if inAbandoned[tx] {
+				continue
+			}
+			if err := u.Confirm(tx, 0, false); err != nil {
+				return reverted, confirmed, fmt.Errorf("confirm block %v: %w", b.Hash, err)
+			}
+			confirmed++
+		}
+	}
+	return reverted, confirmed, nil
+}

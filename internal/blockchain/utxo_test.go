@@ -1,0 +1,137 @@
+package blockchain
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUTXOConfirmAndSpend(t *testing.T) {
+	u := NewUTXOSet()
+	if err := u.Confirm(1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Unspent(1) || u.Size() != 1 {
+		t.Fatal("coin 1 should be unspent")
+	}
+	// tx 2 spends coin 1.
+	if err := u.Confirm(2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if u.Unspent(1) {
+		t.Error("coin 1 should be spent")
+	}
+	if !u.Unspent(2) {
+		t.Error("coin 2 should exist")
+	}
+}
+
+func TestUTXODoubleSpendDetected(t *testing.T) {
+	u := NewUTXOSet()
+	if err := u.Confirm(1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Confirm(2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	// tx 3 tries to spend coin 1 again.
+	if err := u.Confirm(3, 1, true); err == nil {
+		t.Error("double spend not detected")
+	}
+	// Spending a coin that never existed.
+	if err := u.Confirm(4, 77, true); err == nil {
+		t.Error("spend of unknown coin not detected")
+	}
+	// Re-creating an existing coin.
+	if err := u.Confirm(2, 0, false); err == nil {
+		t.Error("duplicate coin not detected")
+	}
+}
+
+func TestUTXORevertRestoresSpentCoin(t *testing.T) {
+	u := NewUTXOSet()
+	if err := u.Confirm(1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Confirm(2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Revert(2); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Unspent(1) {
+		t.Error("reverting the spender should restore coin 1")
+	}
+	if u.Unspent(2) {
+		t.Error("reverted coin 2 should be gone")
+	}
+	if err := u.Revert(42); err == nil {
+		t.Error("reverting unknown coin should fail")
+	}
+}
+
+func TestApplyReorg(t *testing.T) {
+	// Build a fork: main chain confirms txs 1,2; attacker branch confirms
+	// 2 (shared) and 3. Reorg to the attacker branch must revert 1, keep 2,
+	// confirm 3.
+	tree := NewTree()
+	g := tree.Genesis()
+	a1 := NewBlock(g, 0, time.Second, []TxID{1}, false)
+	mustAdd(t, tree, a1)
+	a2 := NewBlock(a1, 0, 2*time.Second, []TxID{2}, false)
+	mustAdd(t, tree, a2)
+
+	u := NewUTXOSet()
+	for _, tx := range []TxID{1, 2} {
+		if err := u.Confirm(tx, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b1 := NewBlock(g, 9, 3*time.Second, []TxID{2}, true)
+	mustAdd(t, tree, b1)
+	b2 := NewBlock(b1, 9, 4*time.Second, []TxID{3}, true)
+	mustAdd(t, tree, b2)
+	b3 := NewBlock(b2, 9, 5*time.Second, nil, true)
+	r, err := tree.Add(b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("expected reorg")
+	}
+
+	reverted, confirmed, err := u.ApplyReorg(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reverted != 1 {
+		t.Errorf("reverted = %d, want 1", reverted)
+	}
+	if confirmed != 1 {
+		t.Errorf("confirmed = %d, want 1", confirmed)
+	}
+	if u.Unspent(1) {
+		t.Error("tx 1 should be reversed")
+	}
+	if !u.Unspent(2) {
+		t.Error("tx 2 should survive (in both branches)")
+	}
+	if !u.Unspent(3) {
+		t.Error("tx 3 should be confirmed")
+	}
+}
+
+func TestApplyReorgNil(t *testing.T) {
+	u := NewUTXOSet()
+	rev, conf, err := u.ApplyReorg(nil)
+	if err != nil || rev != 0 || conf != 0 {
+		t.Errorf("ApplyReorg(nil) = %d, %d, %v", rev, conf, err)
+	}
+}
+
+func mustAdd(t *testing.T, tree *Tree, b *Block) {
+	t.Helper()
+	if _, err := tree.Add(b); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}

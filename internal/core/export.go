@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/topology"
+)
+
+// CSV exporters: each data figure can be written as a machine-readable
+// series for external plotting, with one row per point and a header row.
+
+// ExportFigure3 writes rank, AS-CDF, Org-CDF rows.
+func (s *Study) ExportFigure3(w io.Writer) error {
+	r, err := s.Figure3()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "as_cdf", "org_cdf"}); err != nil {
+		return err
+	}
+	asPts := r.ASCdf.Points()
+	for i, p := range asPts {
+		row := []string{
+			strconv.Itoa(int(p.X)),
+			strconv.FormatFloat(p.F, 'f', 6, 64),
+			strconv.FormatFloat(r.OrgCdf.At(p.X), 'f', 6, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+		_ = i
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportFigure4 writes hijacks, then one capture-fraction column per AS.
+func (s *Study) ExportFigure4(w io.Writer) error {
+	r, err := s.Figure4()
+	if err != nil {
+		return err
+	}
+	ases := Figure4ASes()
+	header := []string{"hijacks"}
+	maxLen := 0
+	for _, asn := range ases {
+		header = append(header, fmt.Sprintf("as%d", asn))
+		if n := len(r.Curves[asn]); n > maxLen {
+			maxLen = n
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for k := 1; k <= maxLen; k++ {
+		row := []string{strconv.Itoa(k)}
+		for _, asn := range ases {
+			curve := r.Curves[asn]
+			if k <= len(curve) {
+				row = append(row, strconv.FormatFloat(curve[k-1].Fraction, 'f', 6, 64))
+			} else {
+				row = append(row, "1.000000")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportFigure6 writes the stacked lag series of a panel: sample time in
+// seconds and the five bucket counts plus the up-node total.
+func (s *Study) ExportFigure6(w io.Writer, v Figure6Variant) error {
+	r, err := s.Figure6(v)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "synced", "behind1", "behind2to4", "behind5to10", "behind10plus", "up"}); err != nil {
+		return err
+	}
+	for _, smp := range r.Trace.Samples {
+		row := []string{
+			strconv.FormatFloat(smp.T.Seconds(), 'f', 0, 64),
+			strconv.Itoa(smp.Buckets[0]),
+			strconv.Itoa(smp.Buckets[1]),
+			strconv.Itoa(smp.Buckets[2]),
+			strconv.Itoa(smp.Buckets[3]),
+			strconv.Itoa(smp.Buckets[4]),
+			strconv.Itoa(smp.UpNodes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportFigure8 writes the 8(a) series plus one synced-count column per
+// top-5 AS (panels b and c).
+func (s *Study) ExportFigure8(w io.Writer) error {
+	r, err := s.Figure8()
+	if err != nil {
+		return err
+	}
+	ases := make([]topology.ASN, 0, len(r.ASSeries))
+	for asn := range r.ASSeries {
+		ases = append(ases, asn)
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	header := []string{"sample", "synced", "behind1", "behind2to4"}
+	for _, asn := range ases {
+		header = append(header, fmt.Sprintf("synced_as%d", asn))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Synced {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(r.Synced[i]),
+			strconv.Itoa(r.Behind1[i]),
+			strconv.Itoa(r.Behind2to4[i]),
+		}
+		for _, asn := range ases {
+			row = append(row, strconv.Itoa(r.ASSeries[asn][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportTableV writes the vulnerability-optimization rows.
+func (s *Study) ExportTableV(w io.Writer) error {
+	r, err := s.TableV()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"window_min", "ge1_count", "ge1_frac", "ge2_count", "ge2_frac", "ge5_count", "ge5_frac"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{strconv.FormatFloat(row.Window.Minutes(), 'f', 0, 64)}
+		for i := 0; i < 3; i++ {
+			rec = append(rec,
+				strconv.Itoa(row.Max[i]),
+				strconv.FormatFloat(row.Frac[i], 'f', 4, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportTableVI writes the timing-bound grid.
+func (s *Study) ExportTableVI(w io.Writer) error {
+	r, err := s.TableVI()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"lambda"}
+	for _, m := range r.Table.Ms {
+		header = append(header, fmt.Sprintf("m%d", m))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, l := range r.Table.Lambdas {
+		row := []string{strconv.FormatFloat(l, 'f', 1, 64)}
+		for j := range r.Table.Ms {
+			row = append(row, strconv.Itoa(r.Table.Seconds[i][j]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// parseCSV reads exported output back, failing on malformed records.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("only %d records", len(records))
+	}
+	return records
+}
+
+func TestExportFigure3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testStudy(t).ExportFigure3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if records[0][0] != "rank" || len(records[0]) != 3 {
+		t.Fatalf("header = %v", records[0])
+	}
+	// CDF columns are monotone non-decreasing and end at 1.
+	prev := 0.0
+	for _, rec := range records[1:] {
+		f, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < prev-1e-9 {
+			t.Fatal("AS CDF not monotone in export")
+		}
+		prev = f
+	}
+	last, _ := strconv.ParseFloat(records[len(records)-1][1], 64)
+	if last < 0.999 {
+		t.Errorf("AS CDF ends at %v", last)
+	}
+}
+
+func TestExportFigure4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testStudy(t).ExportFigure4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records[0]) != 6 { // hijacks + 5 ASes
+		t.Fatalf("header = %v", records[0])
+	}
+	// Every data row has the same width and fractions within [0,1].
+	for i, rec := range records[1:] {
+		if len(rec) != 6 {
+			t.Fatalf("row %d width %d", i, len(rec))
+		}
+		for _, cell := range rec[1:] {
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction %v out of range", f)
+			}
+		}
+	}
+}
+
+func TestExportFigure6AllVariants(t *testing.T) {
+	for _, v := range []Figure6Variant{Figure6a, Figure6b, Figure6c} {
+		var buf bytes.Buffer
+		if err := testStudy(t).ExportFigure6(&buf, v); err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		records := parseCSV(t, &buf)
+		for _, rec := range records[1:] {
+			total := 0
+			for _, cell := range rec[1:6] {
+				n, err := strconv.Atoi(cell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += n
+			}
+			up, _ := strconv.Atoi(rec[6])
+			if total != up {
+				t.Fatalf("buckets sum %d != up %d", total, up)
+			}
+		}
+	}
+}
+
+func TestExportFigure8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testStudy(t).ExportFigure8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records[0]) != 4+5 { // sample + three series + five AS columns
+		t.Fatalf("header = %v", records[0])
+	}
+}
+
+func TestExportTableV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testStudy(t).ExportTableV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 10 { // header + 9 windows
+		t.Fatalf("records = %d", len(records))
+	}
+}
+
+func TestExportTableVI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testStudy(t).ExportTableVI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 7 { // header + 6 lambdas
+		t.Fatalf("records = %d", len(records))
+	}
+	if len(records[0]) != 8 { // lambda + 7 m columns
+		t.Fatalf("header = %v", records[0])
+	}
+}

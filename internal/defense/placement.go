@@ -1,0 +1,133 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/topology"
+)
+
+// Exchange placement (§VI): "large Bitcoin exchanges such as Coinbase and
+// Bitstamp should also host their full nodes across multiple ASes to
+// prevent spatial attacks." The model: nodes co-located in one AS share a
+// hosting environment and fall to a single prefix hijack, while every
+// additional distinct AS forces the attacker into another BGP incident —
+// and incidents against flat ASes (AS16509-like, per Figure 4) are the most
+// visible and costly. The attacker must blind *every* node to cut the
+// operator off.
+
+// Placement is a plan for one operator's full nodes.
+type Placement struct {
+	// ASes is the chosen host AS per node (repeats mean co-location).
+	ASes []topology.ASN
+	// HijackIncidents is the number of separate prefix hijacks an informed
+	// attacker needs to blind the operator: one per distinct hosting AS.
+	HijackIncidents int
+	// FlatHosts counts chosen ASes whose prefix space is flat (>= 500
+	// announced prefixes), where hijacks are most conspicuous.
+	FlatHosts int
+}
+
+// PlanPlacement spreads k operator nodes over distinct candidate ASes,
+// preferring flat (many-prefix) ASes first; co-location only begins once
+// every candidate AS hosts a node.
+func PlanPlacement(pop *dataset.Population, candidates []topology.ASN, k int) (*Placement, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("defense: k = %d must be positive", k)
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("defense: no candidate ASes")
+	}
+	type cand struct {
+		asn      topology.ASN
+		prefixes int
+	}
+	cands := make([]cand, 0, len(candidates))
+	seen := map[topology.ASN]bool{}
+	for _, asn := range candidates {
+		if seen[asn] {
+			continue
+		}
+		seen[asn] = true
+		row, ok := pop.ASRow(asn)
+		if !ok {
+			return nil, fmt.Errorf("defense: AS%d unknown", asn)
+		}
+		cands = append(cands, cand{asn: asn, prefixes: row.Prefixes})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prefixes != cands[j].prefixes {
+			return cands[i].prefixes > cands[j].prefixes
+		}
+		return cands[i].asn < cands[j].asn
+	})
+	p := &Placement{}
+	for i := 0; i < k; i++ {
+		c := cands[i%len(cands)]
+		p.ASes = append(p.ASes, c.asn)
+	}
+	p.HijackIncidents, p.FlatHosts = scorePlacement(pop, p.ASes)
+	return p, nil
+}
+
+// EvaluatePlacement scores an arbitrary placement: distinct hosting ASes
+// (hijack incidents to blind the operator) and how many of them are flat.
+func EvaluatePlacement(pop *dataset.Population, placement []topology.ASN) (incidents, flat int, err error) {
+	if len(placement) == 0 {
+		return 0, 0, errors.New("defense: empty placement")
+	}
+	for _, asn := range placement {
+		if _, ok := pop.ASRow(asn); !ok {
+			return 0, 0, fmt.Errorf("defense: AS%d unknown", asn)
+		}
+	}
+	incidents, flat = scorePlacement(pop, placement)
+	return incidents, flat, nil
+}
+
+func scorePlacement(pop *dataset.Population, placement []topology.ASN) (incidents, flat int) {
+	const flatThreshold = 500
+	distinct := map[topology.ASN]bool{}
+	for _, asn := range placement {
+		if distinct[asn] {
+			continue
+		}
+		distinct[asn] = true
+		incidents++
+		if row, ok := pop.ASRow(asn); ok && row.Prefixes >= flatThreshold {
+			flat++
+		}
+	}
+	return incidents, flat
+}
+
+// CoLocationCost compares the naive strategy (all nodes in one AS) against
+// the planner's dispersal for the same node count.
+type CoLocationCost struct {
+	NaiveIncidents, DispersedIncidents int
+	DispersedFlatHosts                 int
+}
+
+// CompareColocation evaluates both strategies for an operator with k nodes
+// whose naive choice is the single AS naive.
+func CompareColocation(pop *dataset.Population, naive topology.ASN, candidates []topology.ASN, k int) (*CoLocationCost, error) {
+	plan, err := PlanPlacement(pop, candidates, k)
+	if err != nil {
+		return nil, err
+	}
+	naiveASes := make([]topology.ASN, k)
+	for i := range naiveASes {
+		naiveASes[i] = naive
+	}
+	naiveCost, _, err := EvaluatePlacement(pop, naiveASes)
+	if err != nil {
+		return nil, err
+	}
+	return &CoLocationCost{
+		NaiveIncidents:     naiveCost,
+		DispersedIncidents: plan.HijackIncidents,
+		DispersedFlatHosts: plan.FlatHosts,
+	}, nil
+}

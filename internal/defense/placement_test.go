@@ -1,0 +1,118 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/topology"
+)
+
+var sharedPop *dataset.Population
+
+func testPop(t *testing.T) *dataset.Population {
+	t.Helper()
+	if sharedPop == nil {
+		p, err := dataset.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPop = p
+	}
+	return sharedPop
+}
+
+func paperCandidates() []topology.ASN {
+	return []topology.ASN{24940, 16276, 37963, 16509, 14061}
+}
+
+func TestPlanPlacementSpreads(t *testing.T) {
+	pop := testPop(t)
+	plan, err := PlanPlacement(pop, paperCandidates(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HijackIncidents != 5 {
+		t.Errorf("incidents = %d, want 5 (one per distinct AS)", plan.HijackIncidents)
+	}
+	// Flat ASes first: AS16509 (2969 prefixes) leads the plan.
+	if plan.ASes[0] != 16509 {
+		t.Errorf("first host = AS%d, want AS16509", plan.ASes[0])
+	}
+	if plan.FlatHosts < 2 {
+		t.Errorf("flat hosts = %d, want >= 2 (AS16509, AS14061, ...)", plan.FlatHosts)
+	}
+}
+
+func TestPlanPlacementColocatesOnlyWhenFull(t *testing.T) {
+	pop := testPop(t)
+	plan, err := PlanPlacement(pop, paperCandidates(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ASes) != 12 {
+		t.Fatalf("placement size = %d", len(plan.ASes))
+	}
+	// 12 nodes over 5 ASes: still only 5 incidents.
+	if plan.HijackIncidents != 5 {
+		t.Errorf("incidents = %d, want 5", plan.HijackIncidents)
+	}
+	counts := map[topology.ASN]int{}
+	for _, asn := range plan.ASes {
+		counts[asn]++
+	}
+	if len(counts) != 5 {
+		t.Errorf("distinct hosts = %d, want all 5 candidates used", len(counts))
+	}
+}
+
+func TestPlanPlacementValidation(t *testing.T) {
+	pop := testPop(t)
+	if _, err := PlanPlacement(pop, paperCandidates(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PlanPlacement(pop, nil, 3); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := PlanPlacement(pop, []topology.ASN{99999999}, 3); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestEvaluatePlacement(t *testing.T) {
+	pop := testPop(t)
+	incidents, flat, err := EvaluatePlacement(pop, []topology.ASN{24940, 24940, 16509})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incidents != 2 {
+		t.Errorf("incidents = %d, want 2", incidents)
+	}
+	if flat != 1 {
+		t.Errorf("flat = %d, want 1 (AS16509)", flat)
+	}
+	if _, _, err := EvaluatePlacement(pop, nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, _, err := EvaluatePlacement(pop, []topology.ASN{42424242}); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestCompareColocation(t *testing.T) {
+	pop := testPop(t)
+	cost, err := CompareColocation(pop, 24940, paperCandidates(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §VI advice in numbers: one incident blinds the co-located
+	// operator; the dispersed one costs five separate BGP incidents.
+	if cost.NaiveIncidents != 1 {
+		t.Errorf("naive incidents = %d, want 1", cost.NaiveIncidents)
+	}
+	if cost.DispersedIncidents != 5 {
+		t.Errorf("dispersed incidents = %d, want 5", cost.DispersedIncidents)
+	}
+	if cost.DispersedIncidents <= cost.NaiveIncidents {
+		t.Error("dispersal did not raise attacker cost")
+	}
+}

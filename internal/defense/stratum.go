@@ -1,0 +1,133 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mining"
+	"repro/internal/topology"
+)
+
+// Stratum dispersal (§VI): "mining pools should spread stratum servers
+// across various ASes. This can resist the centralization of stratum
+// servers and raise the attack cost, since the attacker will have to hijack
+// more BGP prefixes to isolate the targeted pool."
+
+// SpreadStratum returns a copy of the pool roster in which every pool's
+// stratum servers are replicated across `replicas` distinct ASes drawn
+// round-robin from the candidate list. A pool is isolated only if all of
+// its stratum ASes are hijacked, so dispersal multiplies the attacker's
+// effort.
+func SpreadStratum(pools []mining.Pool, candidates []topology.ASN, replicas int) ([]mining.Pool, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("defense: replicas %d must be positive", replicas)
+	}
+	if len(candidates) < replicas {
+		return nil, fmt.Errorf("defense: %d candidate ASes for %d replicas", len(candidates), replicas)
+	}
+	out := make([]mining.Pool, len(pools))
+	cursor := 0
+	for i, p := range pools {
+		out[i] = p
+		ases := make([]topology.ASN, 0, replicas)
+		seen := map[topology.ASN]bool{}
+		for len(ases) < replicas {
+			asn := candidates[cursor%len(candidates)]
+			cursor++
+			if seen[asn] {
+				continue
+			}
+			seen[asn] = true
+			ases = append(ases, asn)
+		}
+		out[i].StratumASes = ases
+	}
+	return out, nil
+}
+
+// IsolationCost is the outcome of a greedy miner-isolation attack against a
+// roster: how many AS hijacks the attacker needs to cut at least the target
+// hash share.
+type IsolationCost struct {
+	TargetShare   float64
+	ASesHijacked  int
+	ShareIsolated float64
+	// Feasible is false when even hijacking every stratum AS falls short.
+	Feasible bool
+}
+
+// MinASesToIsolate computes, greedily, the number of AS hijacks needed to
+// isolate at least targetShare of the roster's hash rate. Greedy set cover
+// is within ln(n) of optimal and matches how the paper counts attack effort
+// (Table IV: 3 ASes isolate 65.7%).
+func MinASesToIsolate(pools []mining.Pool, targetShare float64) (*IsolationCost, error) {
+	if targetShare <= 0 || targetShare > 1 {
+		return nil, fmt.Errorf("defense: target share %v outside (0,1]", targetShare)
+	}
+	set, err := mining.NewPoolSet(pools)
+	if err != nil {
+		return nil, err
+	}
+	universe := map[topology.ASN]bool{}
+	for _, p := range pools {
+		for _, a := range p.StratumASes {
+			universe[a] = true
+		}
+	}
+	hijacked := map[topology.ASN]bool{}
+	cost := &IsolationCost{TargetShare: targetShare}
+	for cost.ShareIsolated < targetShare && len(hijacked) < len(universe) {
+		// Pick the AS whose addition isolates the most additional share.
+		var best topology.ASN
+		bestGain := -1.0
+		remaining := remainingASes(universe, hijacked)
+		for _, candidate := range remaining {
+			hijacked[candidate] = true
+			gain := set.ShareBehindASes(hijacked) - cost.ShareIsolated
+			delete(hijacked, candidate)
+			if gain > bestGain {
+				bestGain, best = gain, candidate
+			}
+		}
+		hijacked[best] = true
+		cost.ASesHijacked++
+		cost.ShareIsolated = set.ShareBehindASes(hijacked)
+	}
+	cost.Feasible = cost.ShareIsolated >= targetShare
+	return cost, nil
+}
+
+// remainingASes returns universe \ hijacked in deterministic order.
+func remainingASes(universe, hijacked map[topology.ASN]bool) []topology.ASN {
+	var out []topology.ASN
+	for a := range universe {
+		if !hijacked[a] {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DispersalBenefit compares attack cost before and after dispersal.
+type DispersalBenefit struct {
+	Before, After *IsolationCost
+}
+
+// EvaluateDispersal measures how much a dispersal raises the isolation
+// cost for the given target share.
+func EvaluateDispersal(before, after []mining.Pool, targetShare float64) (*DispersalBenefit, error) {
+	if len(before) == 0 || len(after) == 0 {
+		return nil, errors.New("defense: empty roster")
+	}
+	b, err := MinASesToIsolate(before, targetShare)
+	if err != nil {
+		return nil, err
+	}
+	a, err := MinASesToIsolate(after, targetShare)
+	if err != nil {
+		return nil, err
+	}
+	return &DispersalBenefit{Before: b, After: a}, nil
+}

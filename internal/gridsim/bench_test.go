@@ -1,0 +1,46 @@
+package gridsim
+
+import "testing"
+
+// BenchmarkAdvanceBlockInterval measures one block interval of grid
+// dynamics at the paper's two scales.
+func BenchmarkAdvanceBlockInterval(b *testing.B) {
+	for _, size := range []int{25, 100} {
+		name := "25x25"
+		if size == 100 {
+			name = "100x100"
+		}
+		b.Run(name, func(b *testing.B) {
+			g, err := New(Config{
+				Size: size, SpanRatio: 2.0, FailureRate: 0.10,
+				AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+				BoundaryRadius: 5, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Advance(g.StepsPerBlock())
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures state summarization of the full-scale grid.
+func BenchmarkSnapshot(b *testing.B) {
+	g, err := New(Config{Size: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Advance(g.StepsPerBlock() * 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := g.Snapshot()
+		if s.MaxHeight < 0 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

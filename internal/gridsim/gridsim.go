@@ -1,0 +1,520 @@
+// Package gridsim reimplements the paper's R simulation of temporal
+// partitioning (§V-B, Figure 7): Bitcoin modelled as a square grid of nodes
+// where each discrete time step is one peer-to-peer communication attempt
+// per node, communication fails ~10% of the time, and block production is
+// split between the honest network and an attacker (30% hash rate in the
+// paper's runs) who sustains a counterfeit fork inside the region he
+// isolates.
+//
+// The paper's span ratio governs timing: Tdelay = Tblock / (Rspan · √N), so
+// the number of communication steps per block interval is Rspan · √N — how
+// many times information can cross the network between blocks. Rspan = 2.0
+// "is a good target for blockchain synchronization".
+package gridsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/blockchain"
+	"repro/internal/stats"
+)
+
+// ForkID labels a chain branch. Fork 0 is the main chain ("A" in Figure 7);
+// subsequent forks are lettered in order of emergence.
+type ForkID int
+
+// String renders fork labels as letters A, B, C, … like Figure 7.
+func (f ForkID) String() string {
+	if f < 0 {
+		return "?"
+	}
+	if f < 26 {
+		return string(rune('A' + f))
+	}
+	return fmt.Sprintf("F%d", int(f))
+}
+
+// Config parameterizes a grid simulation.
+type Config struct {
+	// Size is the grid side length; the paper uses 100 for the full
+	// 10,000-node network and presents a size-25 grid in Figure 7.
+	Size int
+	// SpanRatio is Rspan; steps per block = SpanRatio * Size (√N for an
+	// N-cell square grid). Default 2.0.
+	SpanRatio float64
+	// FailureRate is the per-attempt communication failure probability.
+	// Default 0.10.
+	FailureRate float64
+	// AttackerShare is the attacker's fraction of total hash rate.
+	// The paper simulates 0.30. Zero disables the attacker.
+	AttackerShare float64
+	// AttackerCell is the grid coordinate the attacker controls (Figure 7
+	// shows the fork emerging at node [7,7]).
+	AttackerRow, AttackerCol int
+	// BoundaryRadius encloses the attacked region: while the disruption
+	// window is active, gossip crossing the Chebyshev-radius boundary
+	// around the attacker cell is blocked. This is the paper's "targeted
+	// communication disruption, holding [forks] open long enough to achieve
+	// attack objectives" (§IV-B); without it any one-block lead floods the
+	// whole synchronized grid and forks are all-or-nothing. Zero disables
+	// the boundary.
+	BoundaryRadius int
+	// BoundaryFrom/BoundaryUntil bound the disruption window in time steps
+	// (inclusive-exclusive). With both zero and a positive radius, the
+	// boundary is active for the whole run.
+	BoundaryFrom, BoundaryUntil int
+	// Seed fixes the run.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpanRatio == 0 {
+		c.SpanRatio = 2.0
+	}
+	if c.FailureRate == 0 {
+		c.FailureRate = 0.10
+	}
+	return c
+}
+
+// Validate rejects unusable parameters.
+func (c Config) Validate() error {
+	if c.Size < 2 {
+		return fmt.Errorf("gridsim: size %d too small", c.Size)
+	}
+	if c.SpanRatio < 0 {
+		return fmt.Errorf("gridsim: negative span ratio %v", c.SpanRatio)
+	}
+	if c.FailureRate < 0 || c.FailureRate >= 1 {
+		return fmt.Errorf("gridsim: failure rate %v outside [0,1)", c.FailureRate)
+	}
+	if c.AttackerShare < 0 || c.AttackerShare >= 1 {
+		return fmt.Errorf("gridsim: attacker share %v outside [0,1)", c.AttackerShare)
+	}
+	if c.AttackerRow < 0 || c.AttackerRow >= c.Size || c.AttackerCol < 0 || c.AttackerCol >= c.Size {
+		return fmt.Errorf("gridsim: attacker cell (%d,%d) outside %dx%d grid",
+			c.AttackerRow, c.AttackerCol, c.Size, c.Size)
+	}
+	if c.BoundaryRadius < 0 {
+		return fmt.Errorf("gridsim: negative boundary radius %d", c.BoundaryRadius)
+	}
+	if c.BoundaryUntil < 0 || c.BoundaryFrom < 0 || (c.BoundaryUntil > 0 && c.BoundaryUntil < c.BoundaryFrom) {
+		return fmt.Errorf("gridsim: invalid boundary window [%d, %d)", c.BoundaryFrom, c.BoundaryUntil)
+	}
+	return nil
+}
+
+// inRegion reports whether cell index i lies within the attack boundary.
+func (g *Grid) inRegion(i int) bool {
+	size := g.cfg.Size
+	row, col := i/size, i%size
+	dr, dc := row-g.cfg.AttackerRow, col-g.cfg.AttackerCol
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	d := dr
+	if dc > d {
+		d = dc
+	}
+	return d <= g.cfg.BoundaryRadius
+}
+
+// boundaryActive reports whether the disruption window covers the current
+// step.
+func (g *Grid) boundaryActive() bool {
+	if g.cfg.BoundaryRadius <= 0 {
+		return false
+	}
+	if g.step < g.cfg.BoundaryFrom {
+		return false
+	}
+	return g.cfg.BoundaryUntil == 0 || g.step < g.cfg.BoundaryUntil
+}
+
+// cell is one grid node's chain view: which fork it follows, that fork's
+// height at this node, and the 64-bit MD5-linked hash of its chain (the
+// paper's per-node internal error check).
+type cell struct {
+	fork   ForkID
+	height int
+	link   blockchain.Hash
+}
+
+// forkInfo tracks one branch's global state.
+type forkInfo struct {
+	id     ForkID
+	parent ForkID
+	// baseHeight is the height at which it diverged from its parent.
+	baseHeight int
+	// tipHeight and tipLink are the branch's best block.
+	tipHeight int
+	tipLink   blockchain.Hash
+	// counterfeit marks attacker-produced branches.
+	counterfeit bool
+}
+
+// Grid is a running grid simulation.
+type Grid struct {
+	cfg           Config
+	rng           *rand.Rand
+	cells         []cell
+	forks         []*forkInfo
+	step          int
+	stepsPerBlock int
+	// blocksMined counts total block events (honest + attacker).
+	blocksMined int
+	// forksEmerged counts branches created after genesis (fork A excluded).
+	forksEmerged int
+	// nbrs caches each cell's Moore neighborhood.
+	nbrs [][]int
+}
+
+// New builds a grid simulation. All cells start on fork A at height 0 with
+// the same genesis link.
+func New(cfg Config) (*Grid, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Size * cfg.Size
+	genesis := blockchain.Genesis()
+	g := &Grid{
+		cfg:           cfg,
+		rng:           stats.NewRand(cfg.Seed),
+		cells:         make([]cell, n),
+		stepsPerBlock: int(math.Round(cfg.SpanRatio * float64(cfg.Size))),
+	}
+	if g.stepsPerBlock < 1 {
+		g.stepsPerBlock = 1
+	}
+	for i := range g.cells {
+		g.cells[i] = cell{fork: 0, height: 0, link: genesis.Hash}
+	}
+	g.forks = []*forkInfo{{id: 0, parent: -1, tipHeight: 0, tipLink: genesis.Hash}}
+	// Precompute the Moore neighborhoods once: neighbors() is the gossip
+	// hot path (one lookup per cell per step).
+	g.nbrs = make([][]int, n)
+	for i := range g.nbrs {
+		g.nbrs[i] = g.computeNeighbors(i)
+	}
+	return g, nil
+}
+
+// StepsPerBlock returns the number of communication steps per block
+// interval implied by the span ratio.
+func (g *Grid) StepsPerBlock() int { return g.stepsPerBlock }
+
+// Step returns the current time step.
+func (g *Grid) Step() int { return g.step }
+
+// BlocksMined returns the number of block events so far.
+func (g *Grid) BlocksMined() int { return g.blocksMined }
+
+// ForksEmerged returns how many forks (beyond the main chain) appeared.
+func (g *Grid) ForksEmerged() int { return g.forksEmerged }
+
+func (g *Grid) idx(row, col int) int { return row*g.cfg.Size + col }
+
+// neighbors returns the cached Moore (8-cell) neighborhood, matching
+// Bitcoin's default of 8 peers, clipped at the grid boundary.
+func (g *Grid) neighbors(i int) []int { return g.nbrs[i] }
+
+func (g *Grid) computeNeighbors(i int) []int {
+	size := g.cfg.Size
+	row, col := i/size, i%size
+	out := make([]int, 0, 8)
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := row+dr, col+dc
+			if r < 0 || r >= size || c < 0 || c >= size {
+				continue
+			}
+			out = append(out, g.idx(r, c))
+		}
+	}
+	return out
+}
+
+// Advance runs n time steps. Each step: every cell makes one communication
+// attempt with a random neighbor (adopting the neighbor's chain if strictly
+// higher, longest-chain rule), and every stepsPerBlock steps one block is
+// mined by the attacker (probability AttackerShare) or the honest network.
+func (g *Grid) Advance(n int) {
+	for i := 0; i < n; i++ {
+		g.step++
+		g.communicate()
+		if g.stepsPerBlock > 0 && g.step%g.stepsPerBlock == 0 {
+			g.mineBlock()
+		}
+	}
+}
+
+// communicate performs one gossip attempt per cell in index order.
+func (g *Grid) communicate() {
+	attackerIdx := g.idx(g.cfg.AttackerRow, g.cfg.AttackerCol)
+	boundary := g.boundaryActive()
+	for i := range g.cells {
+		if stats.Bernoulli(g.rng, g.cfg.FailureRate) {
+			continue
+		}
+		nbrs := g.neighbors(i)
+		j := nbrs[g.rng.Intn(len(nbrs))]
+		// Targeted communication disruption: while the attack boundary is
+		// active, gossip crossing it is blocked.
+		if boundary && g.inRegion(i) != g.inRegion(j) {
+			continue
+		}
+		a, b := &g.cells[i], &g.cells[j]
+		// Once the attacker's cell is on the counterfeit branch it never
+		// adopts the honest chain — it is the anchor that keeps the branch
+		// alive (§V-B: the attacker "sustains" the isolated portion "with
+		// successive forks"). Before the attack fork exists it behaves
+		// honestly.
+		if i == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(a.fork) {
+			// Attacker only pushes, never pulls.
+			if a.height > b.height {
+				*b = *a
+			}
+			continue
+		}
+		if j == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(b.fork) {
+			if b.height > a.height {
+				*a = *b
+			}
+			continue
+		}
+		// Symmetric exchange: the lower-height side adopts the higher.
+		switch {
+		case a.height > b.height:
+			*b = *a
+		case b.height > a.height:
+			*a = *b
+		}
+	}
+}
+
+func (g *Grid) forkOf(id ForkID) *forkInfo { return g.forks[int(id)] }
+
+// mineBlock resolves one block event.
+func (g *Grid) mineBlock() {
+	g.blocksMined++
+	if g.cfg.AttackerShare > 0 && stats.Bernoulli(g.rng, g.cfg.AttackerShare) {
+		g.mineAttacker()
+		return
+	}
+	g.mineHonest()
+}
+
+// mineHonest extends the chain at a uniformly random cell that follows an
+// honest branch — the paper's model keeps the honest 70% of hash power on
+// the main network, which is why the longer chain A eventually overwhelms
+// the attacker's fork (Figure 7(c)). If the mining cell's local view is the
+// tip of its fork, the fork simply grows; if the view is stale (the miner
+// has not heard the latest block yet), a new competing branch emerges —
+// exactly how natural forks arise from propagation delay.
+func (g *Grid) mineHonest() {
+	i := g.pickHonestCell()
+	c := &g.cells[i]
+	if g.onCounterfeit(c.fork) {
+		// The whole grid is captured: the honest miners (whose hash power is
+		// not tied to captured full nodes) publish on the tallest honest
+		// fork, re-seeding it at this cell.
+		f := g.tallestHonestFork()
+		f.tipHeight++
+		f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 0, 0, nil, false)
+		c.fork = f.id
+		c.height = f.tipHeight
+		c.link = f.tipLink
+		return
+	}
+	f := g.forkOf(c.fork)
+	if c.height == f.tipHeight && c.link == f.tipLink {
+		f.tipHeight++
+		f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 0, 0, nil, false)
+		c.height = f.tipHeight
+		c.link = f.tipLink
+		return
+	}
+	// Stale view: a new branch is born on top of the miner's local state.
+	nf := &forkInfo{
+		id:         ForkID(len(g.forks)),
+		parent:     c.fork,
+		baseHeight: c.height,
+		tipHeight:  c.height + 1,
+		tipLink:    blockchain.HashBlock(c.link, c.height+1, 0, 0, nil, false),
+	}
+	g.forks = append(g.forks, nf)
+	g.forksEmerged++
+	c.fork = nf.id
+	c.height = nf.tipHeight
+	c.link = nf.tipLink
+}
+
+// pickHonestCell samples a uniformly random cell following an honest branch
+// (and outside an active attack boundary — the honest hash power publishes
+// on the main network), falling back to any cell when none remain.
+func (g *Grid) pickHonestCell() int {
+	boundary := g.boundaryActive()
+	// Rejection sampling keeps the common case O(1); bounded attempts avoid
+	// degenerate loops when nearly everything is captured.
+	for attempt := 0; attempt < 64; attempt++ {
+		i := g.rng.Intn(len(g.cells))
+		if g.onCounterfeit(g.cells[i].fork) {
+			continue
+		}
+		if boundary && g.inRegion(i) {
+			continue
+		}
+		return i
+	}
+	return g.rng.Intn(len(g.cells))
+}
+
+// tallestHonestFork returns the honest fork with the greatest tip height.
+func (g *Grid) tallestHonestFork() *forkInfo {
+	var best *forkInfo
+	for _, f := range g.forks {
+		if f.counterfeit {
+			continue
+		}
+		if g.counterfeitAncestry(f) {
+			continue
+		}
+		if best == nil || f.tipHeight > best.tipHeight {
+			best = f
+		}
+	}
+	return best
+}
+
+// counterfeitAncestry reports whether the fork descends from a counterfeit
+// branch.
+func (g *Grid) counterfeitAncestry(f *forkInfo) bool {
+	return g.onCounterfeit(f.id)
+}
+
+// mineAttacker extends (or creates) the counterfeit branch anchored at the
+// attacker's cell.
+func (g *Grid) mineAttacker() {
+	i := g.idx(g.cfg.AttackerRow, g.cfg.AttackerCol)
+	c := &g.cells[i]
+	f := g.forkOf(c.fork)
+	if !f.counterfeit {
+		// First attack block: branch off the attacker's current view.
+		nf := &forkInfo{
+			id:          ForkID(len(g.forks)),
+			parent:      c.fork,
+			baseHeight:  c.height,
+			tipHeight:   c.height + 1,
+			tipLink:     blockchain.HashBlock(c.link, c.height+1, 1, 0, nil, true),
+			counterfeit: true,
+		}
+		g.forks = append(g.forks, nf)
+		g.forksEmerged++
+		c.fork = nf.id
+		c.height = nf.tipHeight
+		c.link = nf.tipLink
+		return
+	}
+	f.tipHeight++
+	f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 1, 0, nil, true)
+	c.height = f.tipHeight
+	c.link = f.tipLink
+}
+
+// Snapshot captures the observable state of the grid at the current step.
+type Snapshot struct {
+	Step int
+	// ForkCounts maps fork label to the number of cells following it.
+	ForkCounts map[ForkID]int
+	// MaxHeight is the global best height across all cells.
+	MaxHeight int
+	// LagCounts[k] is the number of cells k blocks behind MaxHeight,
+	// bucketed like Figure 6: index 0 synced, 1, 2 (2-4), 3 (5-10), 4 (>10).
+	Lag [5]int
+}
+
+// Snapshot returns the current state summary.
+func (g *Grid) Snapshot() Snapshot {
+	s := Snapshot{Step: g.step, ForkCounts: map[ForkID]int{}}
+	for i := range g.cells {
+		if g.cells[i].height > s.MaxHeight {
+			s.MaxHeight = g.cells[i].height
+		}
+	}
+	for i := range g.cells {
+		c := g.cells[i]
+		s.ForkCounts[c.fork]++
+		behind := s.MaxHeight - c.height
+		switch {
+		case behind <= 0:
+			s.Lag[0]++
+		case behind == 1:
+			s.Lag[1]++
+		case behind <= 4:
+			s.Lag[2]++
+		case behind <= 10:
+			s.Lag[3]++
+		default:
+			s.Lag[4]++
+		}
+	}
+	return s
+}
+
+// CounterfeitCells returns how many cells currently follow an
+// attacker-produced branch (directly or via a descendant branch).
+func (g *Grid) CounterfeitCells() int {
+	n := 0
+	for i := range g.cells {
+		if g.onCounterfeit(g.cells[i].fork) {
+			n++
+		}
+	}
+	return n
+}
+
+// onCounterfeit walks the fork ancestry looking for a counterfeit branch.
+func (g *Grid) onCounterfeit(id ForkID) bool {
+	for id >= 0 {
+		f := g.forkOf(id)
+		if f.counterfeit {
+			return true
+		}
+		id = f.parent
+	}
+	return false
+}
+
+// Render draws the grid as ASCII, one letter per cell giving its fork
+// label, mirroring Figure 7's colour maps.
+func (g *Grid) Render() string {
+	var b strings.Builder
+	for r := 0; r < g.cfg.Size; r++ {
+		for c := 0; c < g.cfg.Size; c++ {
+			b.WriteString(g.cells[g.idx(r, c)].fork.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DominantFork returns the fork followed by the most cells and its count.
+func (s Snapshot) DominantFork() (ForkID, int) {
+	best, bestN := ForkID(-1), -1
+	for id, n := range s.ForkCounts {
+		if n > bestN || (n == bestN && id < best) {
+			best, bestN = id, n
+		}
+	}
+	return best, bestN
+}

@@ -1,0 +1,301 @@
+package gridsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", Config{Size: 25}, false},
+		{"too small", Config{Size: 1}, true},
+		{"negative span", Config{Size: 10, SpanRatio: -1}, true},
+		{"failure rate 1", Config{Size: 10, FailureRate: 1}, true},
+		{"negative failure", Config{Size: 10, FailureRate: -0.5}, true},
+		{"attacker share 1", Config{Size: 10, AttackerShare: 1}, true},
+		{"attacker cell outside", Config{Size: 10, AttackerRow: 10}, true},
+		{"attacker cell negative", Config{Size: 10, AttackerCol: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g, err := New(Config{Size: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rspan=2.0, size 25: 50 steps per block.
+	if g.StepsPerBlock() != 50 {
+		t.Errorf("StepsPerBlock = %d, want 50", g.StepsPerBlock())
+	}
+}
+
+func TestHonestNetworkStaysSynchronizedAtSpanRatio2(t *testing.T) {
+	// The paper: Rspan = 2.0 "resulted in a network that was fully updated
+	// between blocks" with reasonable failure rates.
+	g, err := New(Config{Size: 25, SpanRatio: 2.0, FailureRate: 0.10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(g.StepsPerBlock() * 40) // 40 block intervals
+	s := g.Snapshot()
+	total := 25 * 25
+	syncedFrac := float64(s.Lag[0]+s.Lag[1]) / float64(total)
+	if syncedFrac < 0.95 {
+		t.Errorf("within-1-block fraction = %v, want >= 0.95 at Rspan=2", syncedFrac)
+	}
+	// Natural forks may emerge but the dominant fork should hold nearly all
+	// cells.
+	_, n := s.DominantFork()
+	if float64(n)/float64(total) < 0.9 {
+		t.Errorf("dominant fork holds %d/%d cells", n, total)
+	}
+}
+
+func TestLowSpanRatioDesynchronizes(t *testing.T) {
+	// Ablation: with Rspan far below 1 information cannot cross the grid
+	// between blocks, so much of the network lags.
+	g, err := New(Config{Size: 25, SpanRatio: 0.2, FailureRate: 0.10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(g.StepsPerBlock() * 40)
+	s := g.Snapshot()
+	laggingFrac := 1 - float64(s.Lag[0])/float64(25*25)
+	if laggingFrac < 0.3 {
+		t.Errorf("lagging fraction = %v at Rspan=0.2, want >= 0.3", laggingFrac)
+	}
+}
+
+func TestAttackerCreatesAndSustainsFork(t *testing.T) {
+	// A 30%-hash attacker (the paper's Figure 7 setup) must capture a
+	// nontrivial region of the grid at some point during the run.
+	g, err := New(Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for step := 0; step < 300; step += 10 {
+		g.Advance(10)
+		if n := g.CounterfeitCells(); n > peak {
+			peak = n
+		}
+	}
+	if g.ForksEmerged() == 0 {
+		t.Fatal("no forks emerged under attack")
+	}
+	// Figure 7(b): fork B controls ~1/6 of the nodes two blocks after
+	// emerging. Require at least 4% of cells at peak to confirm capture
+	// without over-fitting the exact fraction.
+	if float64(peak)/float64(25*25) < 0.04 {
+		t.Errorf("peak counterfeit cells = %d (%.1f%%), want >= 4%%",
+			peak, 100*float64(peak)/float64(25*25))
+	}
+}
+
+func TestNoAttackerNoCounterfeit(t *testing.T) {
+	g, err := New(Config{Size: 15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(g.StepsPerBlock() * 30)
+	if g.CounterfeitCells() != 0 {
+		t.Error("counterfeit cells without an attacker")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	g, err := New(Config{Size: 10, Seed: 9, AttackerShare: 0.3, AttackerRow: 5, AttackerCol: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(500)
+	s := g.Snapshot()
+	totalForks := 0
+	for _, n := range s.ForkCounts {
+		totalForks += n
+	}
+	if totalForks != 100 {
+		t.Errorf("fork counts sum to %d, want 100", totalForks)
+	}
+	totalLag := s.Lag[0] + s.Lag[1] + s.Lag[2] + s.Lag[3] + s.Lag[4]
+	if totalLag != 100 {
+		t.Errorf("lag counts sum to %d, want 100", totalLag)
+	}
+	if s.Step != g.Step() {
+		t.Errorf("snapshot step %d != grid step %d", s.Step, g.Step())
+	}
+}
+
+func TestRender(t *testing.T) {
+	g, err := New(Config{Size: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render has %d lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		if line != "AAAA" {
+			t.Errorf("initial render line = %q, want AAAA", line)
+		}
+	}
+}
+
+func TestForkIDString(t *testing.T) {
+	tests := []struct {
+		id   ForkID
+		want string
+	}{
+		{0, "A"}, {1, "B"}, {25, "Z"}, {26, "F26"}, {-1, "?"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("ForkID(%d).String() = %q, want %q", int(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, int, int) {
+		g, err := New(Config{Size: 20, Seed: 42, AttackerShare: 0.3, AttackerRow: 7, AttackerCol: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Advance(400)
+		s := g.Snapshot()
+		return g.BlocksMined(), g.ForksEmerged(), s.MaxHeight
+	}
+	b1, f1, h1 := run()
+	b2, f2, h2 := run()
+	if b1 != b2 || f1 != f2 || h1 != h2 {
+		t.Errorf("seeded runs diverged: (%d,%d,%d) vs (%d,%d,%d)", b1, f1, h1, b2, f2, h2)
+	}
+}
+
+func TestNeighborsCounts(t *testing.T) {
+	g, err := New(Config{Size: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		row, col, want int
+	}{
+		{0, 0, 3}, // corner
+		{0, 2, 5}, // edge
+		{2, 2, 8}, // interior
+		{4, 4, 3}, // corner
+	}
+	for _, tt := range tests {
+		got := len(g.neighbors(g.idx(tt.row, tt.col)))
+		if got != tt.want {
+			t.Errorf("neighbors(%d,%d) = %d, want %d", tt.row, tt.col, got, tt.want)
+		}
+	}
+}
+
+func TestBoundaryConfinesFork(t *testing.T) {
+	// With the attack boundary active for the whole run, the counterfeit
+	// region can never exceed the enclosed cell count ((2r+1)^2 for an
+	// interior attacker).
+	g, err := New(Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const regionCells = 11 * 11
+	peak := 0
+	for i := 0; i < 60; i++ {
+		g.Advance(10)
+		if n := g.CounterfeitCells(); n > peak {
+			peak = n
+		}
+	}
+	if peak > regionCells {
+		t.Errorf("counterfeit cells %d escaped the radius-5 region (%d)", peak, regionCells)
+	}
+	if peak < regionCells/2 {
+		t.Errorf("peak capture %d never approached the region size %d", peak, regionCells)
+	}
+}
+
+func TestBoundaryReleaseLetsHonestChainRecapture(t *testing.T) {
+	// Open the boundary at step 200: either A overwhelms B or B escapes;
+	// in both cases the confined plateau must end.
+	g, err := New(Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, BoundaryUntil: 200, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(200)
+	confined := g.CounterfeitCells()
+	if confined == 0 {
+		t.Skip("attack fork not live at release for this seed")
+	}
+	g.Advance(300)
+	after := g.CounterfeitCells()
+	if after == confined {
+		t.Errorf("capture unchanged after release: %d", after)
+	}
+}
+
+func TestBoundaryValidation(t *testing.T) {
+	if _, err := New(Config{Size: 10, BoundaryRadius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := New(Config{Size: 10, BoundaryRadius: 2, BoundaryFrom: 100, BoundaryUntil: 50}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestMainChainEventuallyOverwhelmsFork(t *testing.T) {
+	// Figure 7(c): the longer honest chain overwhelms the attacker's fork.
+	// Run long enough and the counterfeit share should shrink from its peak.
+	g, err := New(Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakStep := 0, 0
+	var last int
+	for i := 0; i < 200; i++ {
+		g.Advance(25)
+		n := g.CounterfeitCells()
+		if n > peak {
+			peak, peakStep = n, g.Step()
+		}
+		last = n
+	}
+	if peak == 0 {
+		t.Skip("attacker never captured cells at this seed")
+	}
+	// After the peak the honest chain recovers ground: final capture is
+	// below the peak. (The attacker cell itself always remains.)
+	if last >= peak && g.Step() > peakStep {
+		t.Errorf("counterfeit region never shrank: peak %d, final %d", peak, last)
+	}
+}

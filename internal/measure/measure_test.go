@@ -1,0 +1,253 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/topology"
+)
+
+var sharedPop *dataset.Population
+
+func testPop(t *testing.T) *dataset.Population {
+	t.Helper()
+	if sharedPop == nil {
+		p, err := dataset.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPop = p
+	}
+	return sharedPop
+}
+
+func TestCharacterizeFamilies(t *testing.T) {
+	rows := CharacterizeFamilies(testPop(t))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Family != topology.FamilyIPv4 || rows[0].Count != dataset.IPv4Nodes {
+		t.Errorf("IPv4 row = %+v", rows[0])
+	}
+	if rows[2].Family != topology.FamilyOnion || rows[2].Count != dataset.OnionNodes {
+		t.Errorf("Onion row = %+v", rows[2])
+	}
+	// Tor link speed dwarfs IPv4 (Table I: 432 vs 25 Mbps).
+	if rows[2].LinkSpeed.Mean < 3*rows[0].LinkSpeed.Mean {
+		t.Errorf("Tor speed %v not well above IPv4 %v", rows[2].LinkSpeed.Mean, rows[0].LinkSpeed.Mean)
+	}
+	// Tor latency index is low (0.24 vs 0.70).
+	if rows[2].LatencyIndex.Mean >= rows[0].LatencyIndex.Mean {
+		t.Error("Tor latency index should be below IPv4's")
+	}
+}
+
+func TestTopASesMatchesTableII(t *testing.T) {
+	rows := TopASes(testPop(t), 10)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := []struct {
+		label string
+		nodes int
+	}{
+		{"AS24940", 1030}, {"AS16276", 697}, {"AS37963", 640}, {"AS16509", 609},
+		{"AS14061", 460}, {"AS7922", 414}, {"AS4134", 394}, {"TOR", 319},
+		{"AS51167", 288}, {"AS45102", 279},
+	}
+	for i, w := range want {
+		if rows[i].Label != w.label || rows[i].Nodes != w.nodes {
+			t.Errorf("row %d = %+v, want %v %d", i, rows[i], w.label, w.nodes)
+		}
+	}
+	// AS24940 fraction: 7.54% in the paper.
+	if math.Abs(rows[0].Fraction-0.0754) > 0.0015 {
+		t.Errorf("AS24940 fraction = %v, want ~0.0754", rows[0].Fraction)
+	}
+}
+
+func TestTopOrgsMatchesTableII(t *testing.T) {
+	rows := TopOrgs(testPop(t), 10)
+	want := []struct {
+		name  string
+		nodes int
+	}{
+		{"Hetzner Online GmbH", 1030},
+		{"Amazon.com, Inc", 756},
+		{"OVH SAS", 700},
+		{"Hangzhou Alibaba", 640},
+		{"DigitalOcean, LLC", 503},
+		{"Comcast Communication", 414},
+		{"No.31, Jin-rong Street", 394},
+		{"TOR", 319},
+		{"Contabo GmbH", 288},
+		{"Alibaba (China)", 279},
+	}
+	for i, w := range want {
+		if rows[i].Label != w.name || rows[i].Nodes != w.nodes {
+			t.Errorf("org row %d = %q/%d, want %q/%d", i, rows[i].Label, rows[i].Nodes, w.name, w.nodes)
+		}
+	}
+}
+
+func TestCdfsAndCentralizationChange(t *testing.T) {
+	p := testPop(t)
+	asCdf := ASCdf(p)
+	orgCdf := OrgCdf(p)
+	if err := asCdf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := orgCdf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Orgs dominate ASes pointwise (more concentrated).
+	for _, k := range []float64{5, 10, 20, 50, 100} {
+		if orgCdf.At(k)+1e-9 < asCdf.At(k) {
+			t.Errorf("org CDF below AS CDF at %v: %v < %v", k, orgCdf.At(k), asCdf.At(k))
+		}
+	}
+	rows, err := CentralizationChange(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Table III: 50% row changes by ~52%, 30% row by ~38%.
+	if rows[0].Fraction != 0.50 || rows[0].ASes2017 != 50 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[0].ChangePct < 44 || rows[0].ChangePct > 60 {
+		t.Errorf("50%% change = %v, want ~52", rows[0].ChangePct)
+	}
+	if rows[1].ChangePct < 25 || rows[1].ChangePct > 50 {
+		t.Errorf("30%% change = %v, want ~38", rows[1].ChangePct)
+	}
+}
+
+func TestHijackCurve(t *testing.T) {
+	p := testPop(t)
+	curve, err := HijackCurve(p, 24940)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	// Monotone, ends at 1.0.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Fraction < curve[i-1].Fraction {
+			t.Fatal("curve not monotone")
+		}
+	}
+	if last := curve[len(curve)-1]; math.Abs(last.Fraction-1) > 1e-9 {
+		t.Errorf("curve ends at %v", last.Fraction)
+	}
+	// Figure 4 shape: Hetzner 95% within 25 hijacks, Amazon needs > 140.
+	k24940, err := PrefixesToIsolate(p, 24940, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k24940 > 25 {
+		t.Errorf("AS24940 95%% needs %d hijacks, want <= 25", k24940)
+	}
+	k16509, err := PrefixesToIsolate(p, 16509, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k16509 <= 140 {
+		t.Errorf("AS16509 95%% needs %d hijacks, want > 140", k16509)
+	}
+	if k24940 >= k16509 {
+		t.Error("hosting AS should be cheaper to isolate than cloud AS")
+	}
+}
+
+func TestHijackCurveUnknownAS(t *testing.T) {
+	if _, err := HijackCurve(testPop(t), 99999999); err == nil {
+		t.Error("unknown AS accepted")
+	}
+	if _, err := PrefixesToIsolate(testPop(t), 99999999, 0.5); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestOrderedPrefixes(t *testing.T) {
+	p := testPop(t)
+	prefixes, err := OrderedPrefixes(p, 24940)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixes) == 0 {
+		t.Fatal("no prefixes")
+	}
+	// The first prefix must host at least as many nodes as the second.
+	count := func(pfx topology.Prefix) int {
+		n := 0
+		for _, rec := range p.NodesInAS(24940) {
+			if rec.Prefix == pfx {
+				n++
+			}
+		}
+		return n
+	}
+	if len(prefixes) >= 2 && count(prefixes[0]) < count(prefixes[1]) {
+		t.Error("prefixes not ordered by node count")
+	}
+}
+
+func TestTopVersions(t *testing.T) {
+	rows := TopVersions(testPop(t), 5)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Version != "Bitcoin Core v0.16.0" {
+		t.Errorf("top version = %q", rows[0].Version)
+	}
+	if math.Abs(rows[0].Share-0.3628) > 0.005 {
+		t.Errorf("v0.16.0 share = %v, want ~0.3628", rows[0].Share)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes > rows[i-1].Nodes {
+			t.Error("versions not sorted")
+		}
+	}
+}
+
+func TestSyncedASSeries(t *testing.T) {
+	p := testPop(t)
+	tr, err := p.RunTrace(dataset.TraceConfig{
+		Duration: 4 * time.Hour, SampleEvery: 10 * time.Minute, Seed: 3,
+		TrackSyncedByAS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := SyncedASSeries(tr, []topology.ASN{24940, 16276})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for asn, s := range series {
+		if len(s) != len(tr.Samples) {
+			t.Fatalf("AS%d series length %d != samples %d", asn, len(s), len(tr.Samples))
+		}
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("negative synced count")
+			}
+		}
+	}
+	// Untracked trace errors.
+	tr2, err := p.RunTrace(dataset.TraceConfig{Duration: time.Hour, SampleEvery: 10 * time.Minute, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyncedASSeries(tr2, []topology.ASN{24940}); err == nil {
+		t.Error("untracked trace accepted")
+	}
+}

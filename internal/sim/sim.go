@@ -1,0 +1,157 @@
+// Package sim provides the discrete-event simulation core used by the
+// network simulator (internal/netsim) and indirectly by every attack
+// validation experiment. It implements a virtual clock and a priority event
+// queue: handlers scheduled at virtual times run in timestamp order, with
+// FIFO tie-breaking for events at the same instant so runs are fully
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is a unit of simulated work executed at its scheduled virtual time.
+type Handler func(now time.Duration)
+
+// event is one scheduled handler.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for identical timestamps
+	fn  Handler
+	// index is maintained by the heap for removal support.
+	index int
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrSchedulePast is returned when a handler is scheduled before the current
+// virtual time.
+var ErrSchedulePast = errors.New("sim: cannot schedule event in the past")
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engine is not safe for concurrent use; the simulation model
+// is deliberately sequential so that a seed fully determines a run.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+	// processed counts executed events, exposed for tests and for guarding
+	// against runaway simulations.
+	processed uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time at. It returns
+// ErrSchedulePast if at precedes the current virtual time.
+func (e *Engine) At(at time.Duration, fn Handler) error {
+	if fn == nil {
+		return errors.New("sim: nil handler")
+	}
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	ev := &event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return nil
+}
+
+// After schedules fn to run delay after the current virtual time. Negative
+// delays are clamped to zero: an exponential delay sampler can legitimately
+// round to a tiny negative number and "now" is the correct interpretation.
+func (e *Engine) After(delay time.Duration, fn Handler) error {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Stop halts the run loop after the currently executing handler returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the virtual clock passes until. Events scheduled exactly at
+// until still run. It returns the number of events processed by this call.
+func (e *Engine) Run(until time.Duration) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.processed++
+		next.fn(e.now)
+	}
+	// Advance the clock to the horizon even if the queue drained early, so
+	// repeated Run calls observe monotonic time.
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// RunAll executes events until the queue is empty or Stop is called, with a
+// safety cap on the number of events to guard against self-sustaining event
+// storms. It returns an error if the cap is hit.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	e.stopped = false
+	var n uint64
+	for len(e.queue) > 0 && !e.stopped {
+		if n >= maxEvents {
+			return fmt.Errorf("sim: event cap %d reached at t=%v with %d pending", maxEvents, e.now, len(e.queue))
+		}
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		e.processed++
+		n++
+		next.fn(e.now)
+	}
+	return nil
+}

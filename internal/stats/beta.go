@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Beta samples a Beta(alpha, beta) variate using Jöhnk's algorithm, which is
+// efficient precisely for the small shape parameters that arise here (the
+// paper's latency/uptime indices live on [0,1] with standard deviations
+// close to the Bernoulli limit, i.e. strongly bimodal Betas).
+func Beta(r *rand.Rand, alpha, beta float64) float64 {
+	if alpha <= 0 || beta <= 0 {
+		return 0
+	}
+	for i := 0; i < 1024; i++ {
+		u := math.Pow(r.Float64(), 1/alpha)
+		v := math.Pow(r.Float64(), 1/beta)
+		if s := u + v; s > 0 && s <= 1 {
+			return u / s
+		}
+	}
+	// Pathological shapes: fall back to the mean.
+	return alpha / (alpha + beta)
+}
+
+// BetaFromMoments samples a [0,1] variate with the given mean and standard
+// deviation by matching Beta moments. If the requested variance is at or
+// beyond the Bernoulli bound mean·(1-mean) (not representable by a Beta),
+// it degrades to a Bernoulli(mean) sample, which attains that bound.
+func BetaFromMoments(r *rand.Rand, mean, sd float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean >= 1 {
+		return 1
+	}
+	maxVar := mean * (1 - mean)
+	v := sd * sd
+	if v <= 0 {
+		return mean
+	}
+	if v >= maxVar*0.999 {
+		if Bernoulli(r, mean) {
+			return 1
+		}
+		return 0
+	}
+	nu := maxVar/v - 1
+	return Beta(r, mean*nu, (1-mean)*nu)
+}

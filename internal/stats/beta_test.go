@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBetaMoments(t *testing.T) {
+	tests := []struct {
+		alpha, beta float64
+	}{
+		{2, 2}, {0.5, 0.5}, {0.46, 1.46}, {5, 1},
+	}
+	for _, tt := range tests {
+		r := NewRand(3)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := Beta(r, tt.alpha, tt.beta)
+			if x < 0 || x > 1 {
+				t.Fatalf("Beta(%v,%v) produced %v", tt.alpha, tt.beta, x)
+			}
+			sum += x
+		}
+		want := tt.alpha / (tt.alpha + tt.beta)
+		got := sum / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean = %v, want %v", tt.alpha, tt.beta, got, want)
+		}
+	}
+}
+
+func TestBetaDegenerateShapes(t *testing.T) {
+	r := NewRand(1)
+	if Beta(r, 0, 1) != 0 {
+		t.Error("alpha=0 should return 0")
+	}
+	if Beta(r, 1, -1) != 0 {
+		t.Error("negative beta should return 0")
+	}
+}
+
+func TestBetaFromMomentsMatchesTargets(t *testing.T) {
+	// The Table I index moments: verify the sampler reproduces both mean
+	// and (approximately) the standard deviation.
+	tests := []struct {
+		mean, sd float64
+	}{
+		{0.70, 0.45}, // IPv4 latency: near the Bernoulli bound
+		{0.86, 0.35}, // IPv6 latency
+		{0.24, 0.25}, // Tor latency: genuine Beta
+		{0.76, 0.37}, // Tor uptime
+	}
+	for _, tt := range tests {
+		r := NewRand(7)
+		const n = 150000
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			x := BetaFromMoments(r, tt.mean, tt.sd)
+			if x < 0 || x > 1 {
+				t.Fatalf("sample %v outside [0,1]", x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		r2 := NewRand(7)
+		for i := 0; i < n; i++ {
+			x := BetaFromMoments(r2, tt.mean, tt.sd)
+			d := x - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / n)
+		if math.Abs(mean-tt.mean) > 0.01 {
+			t.Errorf("mean(%v,%v) = %v", tt.mean, tt.sd, mean)
+		}
+		if math.Abs(sd-tt.sd) > 0.03 {
+			t.Errorf("sd(%v,%v) = %v", tt.mean, tt.sd, sd)
+		}
+	}
+}
+
+func TestBetaFromMomentsEdges(t *testing.T) {
+	r := NewRand(1)
+	if BetaFromMoments(r, 0, 0.5) != 0 {
+		t.Error("mean 0 should return 0")
+	}
+	if BetaFromMoments(r, 1, 0.5) != 1 {
+		t.Error("mean 1 should return 1")
+	}
+	if got := BetaFromMoments(r, 0.3, 0); got != 0.3 {
+		t.Errorf("zero variance should return the mean, got %v", got)
+	}
+	// Variance beyond the Bernoulli bound degrades to Bernoulli samples.
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[BetaFromMoments(r, 0.5, 0.9)] = true
+	}
+	if len(seen) != 2 || !seen[0] || !seen[1] {
+		t.Errorf("over-variance sampling should be Bernoulli {0,1}, got %v", seen)
+	}
+}

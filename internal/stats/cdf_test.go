@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCumulativeFromCounts(t *testing.T) {
+	tests := []struct {
+		name   string
+		counts []int
+		// queries maps a fraction to the expected minimum rank.
+		queries map[float64]int
+		final   float64
+	}{
+		{
+			name:    "uniform",
+			counts:  []int{10, 10, 10, 10},
+			queries: map[float64]int{0.25: 1, 0.5: 2, 1.0: 4},
+			final:   1.0,
+		},
+		{
+			name:    "head heavy",
+			counts:  []int{1, 70, 9, 20},
+			queries: map[float64]int{0.5: 1, 0.7: 1, 0.9: 2, 0.99: 3},
+			final:   1.0,
+		},
+		{
+			name:    "single group",
+			counts:  []int{42},
+			queries: map[float64]int{0.0001: 1, 1.0: 1},
+			final:   1.0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cdf := CumulativeFromCounts(tt.counts)
+			if err := cdf.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			pts := cdf.Points()
+			if len(pts) != len(tt.counts) {
+				t.Fatalf("Len = %d, want %d", len(pts), len(tt.counts))
+			}
+			if math.Abs(pts[len(pts)-1].F-tt.final) > 1e-12 {
+				t.Errorf("final F = %v, want %v", pts[len(pts)-1].F, tt.final)
+			}
+			for f, wantRank := range tt.queries {
+				rank, err := cdf.RankFor(f)
+				if err != nil {
+					t.Fatalf("RankFor(%v): %v", f, err)
+				}
+				if rank != wantRank {
+					t.Errorf("RankFor(%v) = %d, want %d", f, rank, wantRank)
+				}
+			}
+		})
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CumulativeFromCounts([]int{50, 30, 20})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0.5},
+		{1.5, 0.5},
+		{2, 0.8},
+		{3, 1.0},
+		{100, 1.0},
+	}
+	for _, tt := range tests {
+		if got := cdf.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFRankForUnreachable(t *testing.T) {
+	cdf := CumulativeFromCounts(nil)
+	if _, err := cdf.RankFor(0.5); err == nil {
+		t.Error("RankFor on empty CDF: want error")
+	}
+	if rank, err := cdf.RankFor(0); err != nil || rank != 0 {
+		t.Errorf("RankFor(0) = %d, %v; want 0, nil", rank, err)
+	}
+}
+
+func TestCDFPropertyValidAndComplete(t *testing.T) {
+	// Property: for any non-negative counts with a positive total, the CDF is
+	// valid, monotone, and its last point is exactly 1.
+	f := func(raw []uint8) bool {
+		counts := make([]int, 0, len(raw))
+		total := 0
+		for _, c := range raw {
+			counts = append(counts, int(c))
+			total += int(c)
+		}
+		cdf := CumulativeFromCounts(counts)
+		if cdf.Validate() != nil {
+			return false
+		}
+		if total == 0 {
+			return true
+		}
+		pts := cdf.Points()
+		return math.Abs(pts[len(pts)-1].F-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPropertyRankMonotone(t *testing.T) {
+	// Property: RankFor is monotone non-decreasing in the requested fraction.
+	counts := []int{500, 300, 100, 50, 25, 12, 6, 3, 2, 1, 1}
+	cdf := CumulativeFromCounts(counts)
+	prev := 0
+	for f := 0.05; f <= 1.0; f += 0.05 {
+		rank, err := cdf.RankFor(f)
+		if err != nil {
+			t.Fatalf("RankFor(%v): %v", f, err)
+		}
+		if rank < prev {
+			t.Fatalf("RankFor not monotone: f=%v rank=%d prev=%d", f, rank, prev)
+		}
+		prev = rank
+	}
+}

@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"testing"
+)
+
+func benchTable(b *testing.B, hijacks bool) (*RouteTable, []IP) {
+	b.Helper()
+	rt := NewRouteTable()
+	var probes []IP
+	base := uint32(10 << 24)
+	for asn := ASN(1); asn <= 500; asn++ {
+		for k := 0; k < 10; k++ {
+			p, err := NewPrefix(IP(base), 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.Announce(p, asn, false); err != nil {
+				b.Fatal(err)
+			}
+			if hijacks && k == 0 && asn%10 == 0 {
+				if err := rt.HijackPrefix(9999, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			probes = append(probes, IP(base+7))
+			base += 1 << 12
+		}
+	}
+	return rt, probes
+}
+
+// BenchmarkResolve measures longest-prefix-match over a 5,000-route table.
+func BenchmarkResolve(b *testing.B) {
+	rt, probes := benchTable(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rt.Resolve(probes[i%len(probes)]); !ok {
+			b.Fatal("unresolved")
+		}
+	}
+}
+
+// BenchmarkResolveWithHijacks adds active hijack routes to the table.
+func BenchmarkResolveWithHijacks(b *testing.B) {
+	rt, probes := benchTable(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rt.Resolve(probes[i%len(probes)]); !ok {
+			b.Fatal("unresolved")
+		}
+	}
+}
+
+// BenchmarkHijackPrefix measures announcement of a sub-prefix hijack.
+func BenchmarkHijackPrefix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rt := NewRouteTable()
+		p, _ := NewPrefix(IP(10<<24), 20)
+		if err := rt.Announce(p, 1, false); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := rt.HijackPrefix(666, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

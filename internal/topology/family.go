@@ -1,0 +1,30 @@
+package topology
+
+import "fmt"
+
+// AddrFamily classifies a node's network address the way the paper's
+// Table I does: IPv4, IPv6, or onion (Tor).
+type AddrFamily int
+
+// Address families. Enums start at one so the zero value is invalid rather
+// than silently IPv4.
+const (
+	FamilyInvalid AddrFamily = iota
+	FamilyIPv4
+	FamilyIPv6
+	FamilyOnion
+)
+
+// String implements fmt.Stringer.
+func (f AddrFamily) String() string {
+	switch f {
+	case FamilyIPv4:
+		return "IPv4"
+	case FamilyIPv6:
+		return "IPv6"
+	case FamilyOnion:
+		return "TOR"
+	default:
+		return fmt.Sprintf("AddrFamily(%d)", int(f))
+	}
+}
