@@ -1,0 +1,36 @@
+# Tier-1 verification gate and performance tooling.
+#
+#   make check      — the tier-1 gate: build, vet, tests, race tests
+#   make bench      — every table/figure/ablation benchmark + parallel pairs
+#   make benchjson  — machine-readable sequential-vs-parallel report
+GO ?= go
+
+.PHONY: all build vet test race check bench benchjson clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate every PR must keep green (see README).
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# benchjson regenerates BENCH_parallel.json: ns/op for the sequential vs
+# parallel variants of the hot experiment paths.
+benchjson:
+	$(GO) run ./cmd/benchjson -out BENCH_parallel.json
+
+clean:
+	$(GO) clean ./...

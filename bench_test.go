@@ -8,6 +8,7 @@ package repro
 
 import (
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,28 +24,61 @@ import (
 
 // benchStudy is shared across benchmarks; the generator is deterministic
 // and experiments do not mutate the population (spatial benches withdraw
-// their hijacks).
-var benchStudy *core.Study
+// their hijacks). Construction is guarded by sync.Once so benchmarks that
+// spin up goroutines (the Benchmark*Parallel variants) can never race on
+// the cached state. The default study runs its internal sweeps
+// sequentially (Workers: 1) so the headline benches keep measuring the
+// single-core paths; parStudy is its parallel counterpart.
+var (
+	benchOnce     sync.Once
+	benchStudy    *core.Study
+	benchParStudy *core.Study
+	benchErr      error
+)
+
+func benchOptions(workers int) core.Options {
+	return core.Options{
+		TableVTraceDays: 1,
+		Figure6aDays:    1,
+		GridSize:        25,
+		NetworkNodes:    150,
+		Workers:         workers,
+	}
+}
+
+func initStudies() {
+	benchOnce.Do(func() {
+		// The two studies share one memoized population (same seed).
+		benchStudy, benchErr = core.NewStudyWithOptions(1, benchOptions(1))
+		if benchErr != nil {
+			return
+		}
+		benchParStudy, benchErr = core.NewStudyWithOptions(1, benchOptions(0))
+	})
+}
 
 func study(b *testing.B) *core.Study {
 	b.Helper()
-	if benchStudy == nil {
-		s, err := core.NewStudyWithOptions(1, core.Options{
-			TableVTraceDays: 1,
-			Figure6aDays:    1,
-			GridSize:        25,
-			NetworkNodes:    150,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchStudy = s
+	initStudies()
+	if benchErr != nil {
+		b.Fatal(benchErr)
 	}
 	return benchStudy
 }
 
+// parStudy returns the study whose internal sweeps fan out across all CPUs.
+func parStudy(b *testing.B) *core.Study {
+	b.Helper()
+	initStudies()
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchParStudy
+}
+
 func BenchmarkTableI(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var tor float64
 	for i := 0; i < b.N; i++ {
 		r := s.TableI()
@@ -55,6 +89,7 @@ func BenchmarkTableI(b *testing.B) {
 
 func BenchmarkTableII(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var top int
 	for i := 0; i < b.N; i++ {
 		r := s.TableII()
@@ -65,6 +100,7 @@ func BenchmarkTableII(b *testing.B) {
 
 func BenchmarkTableIII(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var change float64
 	for i := 0; i < b.N; i++ {
 		r, err := s.TableIII()
@@ -78,6 +114,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 func BenchmarkTableIV(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		r, err := s.TableIV()
@@ -91,6 +128,7 @@ func BenchmarkTableIV(b *testing.B) {
 
 func BenchmarkTableV(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var frac float64
 	for i := 0; i < b.N; i++ {
 		r, err := s.TableV()
@@ -104,6 +142,7 @@ func BenchmarkTableV(b *testing.B) {
 
 func BenchmarkTableVI(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var cell int
 	for i := 0; i < b.N; i++ {
 		r, err := s.TableVI()
@@ -117,6 +156,7 @@ func BenchmarkTableVI(b *testing.B) {
 
 func BenchmarkTableVII(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var frac float64
 	for i := 0; i < b.N; i++ {
 		r, err := s.TableVII()
@@ -130,6 +170,7 @@ func BenchmarkTableVII(b *testing.B) {
 
 func BenchmarkTableVIII(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		r := s.TableVIII()
@@ -140,6 +181,7 @@ func BenchmarkTableVIII(b *testing.B) {
 
 func BenchmarkFigure1(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Figure1Demo(); err != nil {
 			b.Fatal(err)
@@ -149,6 +191,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 func BenchmarkFigure2(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Figure2Demo(); err != nil {
 			b.Fatal(err)
@@ -158,6 +201,7 @@ func BenchmarkFigure2(b *testing.B) {
 
 func BenchmarkFigure3(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var as50 int
 	for i := 0; i < b.N; i++ {
 		r, err := s.Figure3()
@@ -171,6 +215,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var hetzner int
 	for i := 0; i < b.N; i++ {
 		r, err := s.Figure4()
@@ -184,6 +229,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkFigure5(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var captured int
 	for i := 0; i < b.N; i++ {
 		res, _, err := s.Figure5Demo()
@@ -197,6 +243,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	variants := []struct {
 		name string
 		v    core.Figure6Variant
@@ -207,6 +254,7 @@ func BenchmarkFigure6(b *testing.B) {
 	}
 	for _, tt := range variants {
 		b.Run(tt.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var samples int
 			for i := 0; i < b.N; i++ {
 				r, err := s.Figure6(tt.v)
@@ -222,6 +270,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkFigure7(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
 		r, err := s.Figure7()
@@ -235,6 +284,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 func BenchmarkFigure8(b *testing.B) {
 	s := study(b)
+	b.ReportAllocs()
 	var top int
 	for i := 0; i < b.N; i++ {
 		r, err := s.Figure8()
@@ -256,6 +306,7 @@ func BenchmarkAblationSpreading(b *testing.B) {
 		s    p2p.Spreading
 	}{{"diffusion", p2p.Diffusion}, {"trickle", p2p.Trickle}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var reach time.Duration
 			for i := 0; i < b.N; i++ {
 				sim, err := netsim.New(netsim.Config{
@@ -299,6 +350,7 @@ func BenchmarkAblationSpreading(b *testing.B) {
 func BenchmarkAblationSpanRatio(b *testing.B) {
 	for _, span := range []float64{0.2, 0.5, 1.0, 2.0} {
 		b.Run(formatFloat(span), func(b *testing.B) {
+			b.ReportAllocs()
 			var synced, forks float64
 			for i := 0; i < b.N; i++ {
 				g, err := gridsim.New(gridsim.Config{
@@ -326,6 +378,7 @@ func BenchmarkAblationSpanRatio(b *testing.B) {
 func BenchmarkAblationPeerCount(b *testing.B) {
 	for _, peers := range []int{2, 4, 8, 16} {
 		b.Run(formatInt(peers), func(b *testing.B) {
+			b.ReportAllocs()
 			var synced, msgs float64
 			for i := 0; i < b.N; i++ {
 				sim, err := netsim.New(netsim.Config{
@@ -353,6 +406,7 @@ func BenchmarkAblationPeerCount(b *testing.B) {
 func BenchmarkAblationFailureRate(b *testing.B) {
 	for _, failure := range []float64{1e-9, 0.10, 0.20, 0.30} {
 		b.Run(formatFloat(failure), func(b *testing.B) {
+			b.ReportAllocs()
 			var forks float64
 			for i := 0; i < b.N; i++ {
 				g, err := gridsim.New(gridsim.Config{
@@ -377,6 +431,7 @@ func BenchmarkAblationBlockAware(b *testing.B) {
 		on   bool
 	}{{"off", false}, {"on", true}} {
 		b.Run(protect.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var captured float64
 			for i := 0; i < b.N; i++ {
 				sim, err := netsim.New(netsim.Config{
@@ -409,6 +464,115 @@ func BenchmarkAblationBlockAware(b *testing.B) {
 	}
 }
 
+// --- Parallel runner (internal/parallel) ----------------------------------
+//
+// Each pair below measures the same workload sequentially (workers = 1) and
+// fanned across every CPU (workers = 0 → GOMAXPROCS). Output is
+// bit-identical either way (see TestRunTrialsDeterministic and the core
+// determinism tests); on a ≥4-core machine the parallel variants target
+// ≥3× the sequential throughput. cmd/benchjson records the same pairs as
+// machine-readable JSON.
+
+func gridTrialsConfig() gridsim.Config {
+	return gridsim.Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, Seed: 1,
+	}
+}
+
+func benchGridTrials(b *testing.B, workers int) {
+	b.ReportAllocs()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := gridsim.RunTrials(gridTrialsConfig(), gridsim.TrialsConfig{
+			Trials: 16, Blocks: 20, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.ForkRate
+	}
+	b.ReportMetric(rate, "forks/block")
+}
+
+// BenchmarkGridTrials is the sequential Monte-Carlo ensemble of Figure 7's
+// grid (16 replicates × 20 block intervals).
+func BenchmarkGridTrials(b *testing.B) { benchGridTrials(b, 1) }
+
+// BenchmarkGridTrialsParallel fans the same ensemble across all CPUs.
+func BenchmarkGridTrialsParallel(b *testing.B) { benchGridTrials(b, 0) }
+
+// BenchmarkFigure4Parallel is BenchmarkFigure4 with the per-AS hijack
+// enumeration fanned across CPUs.
+func BenchmarkFigure4Parallel(b *testing.B) {
+	s := parStudy(b)
+	b.ReportAllocs()
+	var hetzner int
+	for i := 0; i < b.N; i++ {
+		r, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hetzner = r.For95[24940]
+	}
+	b.ReportMetric(float64(hetzner), "as24940-hijacks-95pct")
+}
+
+// BenchmarkTableVParallel is BenchmarkTableV with the lag-window scan
+// fanned across CPUs.
+func BenchmarkTableVParallel(b *testing.B) {
+	s := parStudy(b)
+	b.ReportAllocs()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.TableV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = r.Rows[0].Frac[0]
+	}
+	b.ReportMetric(frac*100, "t5min-behind1-pct")
+}
+
+func benchFigure6Panels(b *testing.B, s *core.Study) {
+	b.ReportAllocs()
+	var samples int
+	for i := 0; i < b.N; i++ {
+		rs, err := s.Figure6All()
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = len(rs[0].Trace.Samples)
+	}
+	b.ReportMetric(float64(samples), "samples")
+}
+
+// BenchmarkFigure6Panels regenerates all three Figure 6 panels one by one.
+func BenchmarkFigure6Panels(b *testing.B) { benchFigure6Panels(b, study(b)) }
+
+// BenchmarkFigure6PanelsParallel regenerates the three panels concurrently.
+func BenchmarkFigure6PanelsParallel(b *testing.B) { benchFigure6Panels(b, parStudy(b)) }
+
+func benchStudyAll(b *testing.B, s *core.Study, workers int) {
+	b.ReportAllocs()
+	var outputs int
+	for i := 0; i < b.N; i++ {
+		out, err := s.RunAll(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outputs = len(out)
+	}
+	b.ReportMetric(float64(outputs), "experiments")
+}
+
+// BenchmarkStudyAll regenerates the entire evaluation sequentially.
+func BenchmarkStudyAll(b *testing.B) { benchStudyAll(b, study(b), 1) }
+
+// BenchmarkStudyAllParallel fans the whole evaluation across CPUs.
+func BenchmarkStudyAllParallel(b *testing.B) { benchStudyAll(b, parStudy(b), 0) }
+
 func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', 3, 64)
 }
@@ -425,6 +589,7 @@ func formatInt(n int) string {
 func BenchmarkAblationLogicalCapture(b *testing.B) {
 	for _, k := range []int{1, 2, 20, 100} {
 		b.Run(formatInt(k), func(b *testing.B) {
+			b.ReportAllocs()
 			s := study(b)
 			versions := []string{}
 			for _, row := range measure.TopVersions(s.Pop, k) {

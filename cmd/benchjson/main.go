@@ -1,0 +1,162 @@
+// Command benchjson measures the repository's sequential-vs-parallel hot
+// paths with testing.Benchmark and writes a machine-readable JSON report,
+// seeding the repo's performance trajectory: each run records ns/op for the
+// sequential (workers=1) and parallel (workers=N) variants of the same
+// workload plus the resulting speedup.
+//
+// Usage:
+//
+//	benchjson [-workers N] [-out BENCH_parallel.json]
+//
+// With -out "-" the report goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gridsim"
+)
+
+// Report is the emitted document.
+type Report struct {
+	// Workers is the parallel variants' worker bound.
+	Workers int `json:"workers"`
+	// CPUs is GOMAXPROCS at measurement time; speedups are bounded by it.
+	CPUs int `json:"cpus"`
+	// Benches holds one entry per workload pair.
+	Benches []Bench `json:"benches"`
+}
+
+// Bench is one sequential/parallel pair.
+type Bench struct {
+	Name       string  `json:"name"`
+	SeqNsPerOp int64   `json:"seq_ns_per_op"`
+	ParNsPerOp int64   `json:"par_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "parallel worker bound (0 = one per CPU)")
+	out := fs.String("out", "BENCH_parallel.json", "output path (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	study := func(workers int) (*core.Study, error) {
+		return core.NewStudyWithOptions(1, core.Options{
+			TableVTraceDays: 1,
+			Figure6aDays:    1,
+			GridSize:        25,
+			NetworkNodes:    150,
+			Workers:         workers,
+		})
+	}
+	seqStudy, err := study(1)
+	if err != nil {
+		return err
+	}
+	parStudy, err := study(w)
+	if err != nil {
+		return err
+	}
+
+	gridCfg := gridsim.Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, Seed: 1,
+	}
+	trials := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gridsim.RunTrials(gridCfg, gridsim.TrialsConfig{
+					Trials: 16, Blocks: 20, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	figure4 := func(s *core.Study) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Figure4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	figure6 := func(s *core.Study) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Figure6All(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	runAll := func(s *core.Study, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunAll(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	pairs := []struct {
+		name     string
+		seq, par func(b *testing.B)
+	}{
+		{"gridsim_trials", trials(1), trials(w)},
+		{"figure4_sweep", figure4(seqStudy), figure4(parStudy)},
+		{"figure6_panels", figure6(seqStudy), figure6(parStudy)},
+		{"study_all", runAll(seqStudy, 1), runAll(parStudy, w)},
+	}
+
+	report := Report{Workers: w, CPUs: runtime.GOMAXPROCS(0)}
+	for _, p := range pairs {
+		fmt.Fprintf(os.Stderr, "measuring %s (sequential)...\n", p.name)
+		seq := testing.Benchmark(p.seq)
+		fmt.Fprintf(os.Stderr, "measuring %s (parallel, %d workers)...\n", p.name, w)
+		par := testing.Benchmark(p.par)
+		bench := Bench{
+			Name:       p.name,
+			SeqNsPerOp: seq.NsPerOp(),
+			ParNsPerOp: par.NsPerOp(),
+		}
+		if par.NsPerOp() > 0 {
+			bench.Speedup = float64(seq.NsPerOp()) / float64(par.NsPerOp())
+		}
+		report.Benches = append(report.Benches, bench)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}

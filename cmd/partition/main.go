@@ -44,6 +44,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("partition", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "generation seed")
 	full := fs.Bool("full", false, "paper-scale experiment windows (slow)")
+	workers := fs.Int("workers", 0, "parallel fan-out bound (0 = one per CPU, 1 = sequential); output is identical either way")
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
 	}
@@ -51,6 +52,7 @@ func run(args []string) error {
 	if *full {
 		opts = core.Full()
 	}
+	opts.Workers = *workers
 	study, err := core.NewStudyWithOptions(*seed, opts)
 	if err != nil {
 		return err
@@ -94,7 +96,7 @@ func runExport(study *core.Study, name string) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full]\n" +
+	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full] [-workers N]\n" +
 		"  experiments: table1..table8, figure1..figure8 (figure6a/b/c), all\n" +
 		"  attacks:     spatial, temporal, spatiotemporal, logical, doublespend, majority51, cascade\n" +
 		"  defenses:    blockaware, stratum, routeguard, placement\n" +
@@ -103,14 +105,14 @@ func usageError() error {
 
 func runExperiment(study *core.Study, name string) error {
 	if name == "all" {
-		for _, n := range []string{
-			"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-			"figure1", "figure2", "figure3", "figure4", "figure5",
-			"figure6a", "figure6b", "figure6c", "figure7", "figure8",
-		} {
-			if err := runExperiment(study, n); err != nil {
-				return fmt.Errorf("%s: %w", n, err)
-			}
+		// The experiments fan out across the study's workers; outputs come
+		// back in presentation order, identical to the sequential run.
+		outputs, err := study.RunAll(study.Opts.Workers)
+		if err != nil {
+			return err
+		}
+		for _, out := range outputs {
+			fmt.Print(out.Text)
 			fmt.Println()
 		}
 		return nil

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -30,6 +31,11 @@ type Options struct {
 	// NetworkNodes is the live-simulation population for the attack demos.
 	// Default 150.
 	NetworkNodes int
+	// Workers bounds the study's intra-experiment fan-out (the Figure 4
+	// per-AS sweep, the Figure 6 panel set, the Table V window scan, and
+	// RunAll). 0 means one worker per CPU; 1 forces sequential execution.
+	// Every experiment's output is bit-identical for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,9 +77,30 @@ func NewStudy(seed int64) (*Study, error) {
 	return NewStudyWithOptions(seed, Options{})
 }
 
-// NewStudyWithOptions generates the population with explicit options.
+// populations memoizes the synthetic population per generation seed. The
+// build is the dominant cost of study construction, it is deterministic in
+// the seed, and the experiment paths are read-only on it (the spatial
+// executors that announce hijacks withdraw them), so studies sharing a seed
+// share one copy built exactly once — even when constructed concurrently.
+var populations sync.Map // int64 -> *popEntry
+
+type popEntry struct {
+	once sync.Once
+	pop  *dataset.Population
+	err  error
+}
+
+func generatePopulation(seed int64) (*dataset.Population, error) {
+	v, _ := populations.LoadOrStore(seed, &popEntry{})
+	e := v.(*popEntry)
+	e.once.Do(func() { e.pop, e.err = dataset.Generate(seed) })
+	return e.pop, e.err
+}
+
+// NewStudyWithOptions generates the population with explicit options,
+// reusing a cached population when one was already built for the seed.
 func NewStudyWithOptions(seed int64, opts Options) (*Study, error) {
-	pop, err := dataset.Generate(seed)
+	pop, err := generatePopulation(seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gridsim"
 	"repro/internal/measure"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -80,29 +81,44 @@ func Figure4ASes() []topology.ASN {
 	return []topology.ASN{24940, 16276, 37963, 16509, 14061}
 }
 
-// Figure4 computes the hijack curves.
+// Figure4 computes the hijack curves. The five per-AS enumerations are
+// independent read-only scans of the population, so they fan out across the
+// study's workers; the collected maps are identical for any worker count.
 func (s *Study) Figure4() (*Figure4Result, error) {
+	type asCurves struct {
+		curve    []measure.HijackPoint
+		prefixes int
+		for95    int
+	}
+	ases := Figure4ASes()
+	results, err := parallel.Sweep(s.Opts.Workers, ases,
+		func(_ int, asn topology.ASN) (asCurves, error) {
+			curve, err := measure.HijackCurve(s.Pop, asn)
+			if err != nil {
+				return asCurves{}, err
+			}
+			row, ok := s.Pop.ASRow(asn)
+			if !ok {
+				return asCurves{}, fmt.Errorf("core: AS%d missing", asn)
+			}
+			k, err := measure.PrefixesToIsolate(s.Pop, asn, 0.95)
+			if err != nil {
+				return asCurves{}, err
+			}
+			return asCurves{curve: curve, prefixes: row.Prefixes, for95: k}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	r := &Figure4Result{
 		Curves:       map[topology.ASN][]measure.HijackPoint{},
 		PrefixTotals: map[topology.ASN]int{},
 		For95:        map[topology.ASN]int{},
 	}
-	for _, asn := range Figure4ASes() {
-		curve, err := measure.HijackCurve(s.Pop, asn)
-		if err != nil {
-			return nil, err
-		}
-		r.Curves[asn] = curve
-		row, ok := s.Pop.ASRow(asn)
-		if !ok {
-			return nil, fmt.Errorf("core: AS%d missing", asn)
-		}
-		r.PrefixTotals[asn] = row.Prefixes
-		k, err := measure.PrefixesToIsolate(s.Pop, asn, 0.95)
-		if err != nil {
-			return nil, err
-		}
-		r.For95[asn] = k
+	for i, asn := range ases {
+		r.Curves[asn] = results[i].curve
+		r.PrefixTotals[asn] = results[i].prefixes
+		r.For95[asn] = results[i].for95
 	}
 	return r, nil
 }
@@ -168,6 +184,15 @@ func (s *Study) Figure6(v Figure6Variant) (*Figure6Result, error) {
 	default:
 		return nil, fmt.Errorf("core: invalid Figure 6 variant %d", int(v))
 	}
+}
+
+// Figure6All regenerates the three panels of Figure 6 concurrently (each
+// panel is an independent trace with its own derived seed), returned in
+// panel order a, b, c.
+func (s *Study) Figure6All() ([]*Figure6Result, error) {
+	return parallel.Sweep(s.Opts.Workers,
+		[]Figure6Variant{Figure6a, Figure6b, Figure6c},
+		func(_ int, v Figure6Variant) (*Figure6Result, error) { return s.Figure6(v) })
 }
 
 // Render prints the stacked series (cumulative counts as in the paper).

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func workerStudy(t *testing.T, workers int) *Study {
+	t.Helper()
+	s, err := NewStudyWithOptions(1, Options{
+		TableVTraceDays: 1,
+		Figure6aDays:    1,
+		GridSize:        25,
+		NetworkNodes:    120,
+		Workers:         workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPopulationMemoized(t *testing.T) {
+	a, err := NewStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pop != b.Pop {
+		t.Error("same seed built two populations")
+	}
+	c, err := NewStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pop == a.Pop {
+		t.Error("different seeds share a population")
+	}
+}
+
+func TestRunAllNamesAndOrder(t *testing.T) {
+	s := testStudy(t)
+	outputs, err := s.RunAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ExperimentNames()
+	if len(outputs) != len(names) {
+		t.Fatalf("outputs = %d, want %d", len(outputs), len(names))
+	}
+	for i, out := range outputs {
+		if out.Name != names[i] {
+			t.Errorf("slot %d: %q, want %q", i, out.Name, names[i])
+		}
+		if out.Text == "" {
+			t.Errorf("%s: empty rendering", out.Name)
+		}
+	}
+	if !strings.Contains(outputs[0].Text, "Table I") {
+		t.Error("table1 rendering wrong")
+	}
+	if !strings.Contains(outputs[len(outputs)-1].Text, "Figure 8") {
+		t.Error("figure8 rendering wrong")
+	}
+}
+
+// TestRunAllDeterministicAcrossWorkers is the ISSUE's regression contract
+// at the orchestration layer: the full rendered evaluation is byte-identical
+// for workers ∈ {1, 2, 8}.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation × 3 worker counts")
+	}
+	baseline, err := workerStudy(t, 1).RunAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := workerStudy(t, workers).RunAll(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			for i := range baseline {
+				if got[i] != baseline[i] {
+					t.Errorf("workers=%d: %s diverged", workers, baseline[i].Name)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure4DeterministicAcrossWorkers pins the parallel per-AS hijack
+// sweep to the sequential rendering.
+func TestFigure4DeterministicAcrossWorkers(t *testing.T) {
+	base, err := workerStudy(t, 1).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Render()
+	for _, workers := range []int{2, 8} {
+		r, err := workerStudy(t, workers).Figure4()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if r.Render() != want {
+			t.Errorf("workers=%d: Figure 4 diverged", workers)
+		}
+	}
+}
+
+// TestFigure6AllDeterministicAcrossWorkers pins the concurrent panel set.
+func TestFigure6AllDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) []string {
+		rs, err := workerStudy(t, workers).Figure6All()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = r.Render()
+		}
+		return out
+	}
+	want := render(1)
+	if len(want) != 3 {
+		t.Fatalf("panels = %d", len(want))
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Figure 6 panels diverged", workers)
+		}
+	}
+}
+
+// TestTableVDeterministicAcrossWorkers pins the parallel lag-window scan.
+func TestTableVDeterministicAcrossWorkers(t *testing.T) {
+	base, err := workerStudy(t, 1).TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Render()
+	for _, workers := range []int{2, 8} {
+		r, err := workerStudy(t, workers).TableV()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if r.Render() != want {
+			t.Errorf("workers=%d: Table V diverged", workers)
+		}
+	}
+}

@@ -174,13 +174,18 @@ type TableVResult struct {
 	Rows []dataset.VulnRow
 }
 
-// TableV runs the lag trace and the vulnerability optimization.
+// TableV runs the lag trace and the vulnerability optimization, scanning
+// the nine timing windows across the study's workers.
 func (s *Study) TableV() (*TableVResult, error) {
 	tr, err := s.runTrace(time.Duration(s.Opts.TableVTraceDays)*24*time.Hour, 10*time.Minute, 5, false)
 	if err != nil {
 		return nil, err
 	}
-	return &TableVResult{Rows: tr.MaxVulnerable()}, nil
+	rows, err := tr.MaxVulnerableParallel(s.Opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &TableVResult{Rows: rows}, nil
 }
 
 // Render formats Table V.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -275,22 +276,36 @@ func episodeMultiplier(eps []episode, t time.Duration) float64 {
 // vulnerable nodes whose lagging time L(t) is at least T".
 func (t *Trace) MaxVulnerable() []VulnRow {
 	out := make([]VulnRow, len(t.Config.VulnerabilityWindows))
-	for wi, w := range t.Config.VulnerabilityWindows {
-		row := VulnRow{Window: w}
-		for _, s := range t.Samples {
-			for ti := range lagThresholds {
-				n := s.Vulnerable[wi][ti]
-				if n > row.Max[ti] {
-					row.Max[ti] = n
-					if s.UpNodes > 0 {
-						row.Frac[ti] = float64(n) / float64(s.UpNodes)
-					}
+	for wi := range t.Config.VulnerabilityWindows {
+		out[wi] = t.scanWindow(wi)
+	}
+	return out
+}
+
+// MaxVulnerableParallel is MaxVulnerable with the per-window scans fanned
+// across workers (<= 0 means one per CPU). Each window's scan is
+// independent and read-only on the trace, so the output is identical to
+// the sequential path for any worker count.
+func (t *Trace) MaxVulnerableParallel(workers int) ([]VulnRow, error) {
+	return parallel.Map(workers, len(t.Config.VulnerabilityWindows),
+		func(wi int) (VulnRow, error) { return t.scanWindow(wi), nil })
+}
+
+// scanWindow runs the Table V optimization for one timing constraint.
+func (t *Trace) scanWindow(wi int) VulnRow {
+	row := VulnRow{Window: t.Config.VulnerabilityWindows[wi]}
+	for _, s := range t.Samples {
+		for ti := range lagThresholds {
+			n := s.Vulnerable[wi][ti]
+			if n > row.Max[ti] {
+				row.Max[ti] = n
+				if s.UpNodes > 0 {
+					row.Frac[ti] = float64(n) / float64(s.UpNodes)
 				}
 			}
 		}
-		out[wi] = row
 	}
-	return out
+	return row
 }
 
 // VulnRow is one Table V row: for a timing constraint, the maximum count

@@ -171,8 +171,12 @@ type Grid struct {
 	blocksMined int
 	// forksEmerged counts branches created after genesis (fork A excluded).
 	forksEmerged int
-	// nbrs caches each cell's Moore neighborhood.
-	nbrs [][]int
+	// nbrs/nbrOff cache every cell's Moore neighborhood in one flat backing
+	// slice: cell i's neighbors are nbrs[nbrOff[i]:nbrOff[i+1]]. One
+	// allocation for the whole grid instead of one slice per cell, and the
+	// gossip hot loop walks contiguous memory.
+	nbrs   []int
+	nbrOff []int32
 }
 
 // New builds a grid simulation. All cells start on fork A at height 0 with
@@ -199,10 +203,13 @@ func New(cfg Config) (*Grid, error) {
 	g.forks = []*forkInfo{{id: 0, parent: -1, tipHeight: 0, tipLink: genesis.Hash}}
 	// Precompute the Moore neighborhoods once: neighbors() is the gossip
 	// hot path (one lookup per cell per step).
-	g.nbrs = make([][]int, n)
-	for i := range g.nbrs {
-		g.nbrs[i] = g.computeNeighbors(i)
+	g.nbrs = make([]int, 0, n*8)
+	g.nbrOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		g.nbrOff[i] = int32(len(g.nbrs))
+		g.nbrs = g.appendNeighbors(g.nbrs, i)
 	}
+	g.nbrOff[n] = int32(len(g.nbrs))
 	return g, nil
 }
 
@@ -223,12 +230,11 @@ func (g *Grid) idx(row, col int) int { return row*g.cfg.Size + col }
 
 // neighbors returns the cached Moore (8-cell) neighborhood, matching
 // Bitcoin's default of 8 peers, clipped at the grid boundary.
-func (g *Grid) neighbors(i int) []int { return g.nbrs[i] }
+func (g *Grid) neighbors(i int) []int { return g.nbrs[g.nbrOff[i]:g.nbrOff[i+1]] }
 
-func (g *Grid) computeNeighbors(i int) []int {
+func (g *Grid) appendNeighbors(out []int, i int) []int {
 	size := g.cfg.Size
 	row, col := i/size, i%size
-	out := make([]int, 0, 8)
 	for dr := -1; dr <= 1; dr++ {
 		for dc := -1; dc <= 1; dc++ {
 			if dr == 0 && dc == 0 {

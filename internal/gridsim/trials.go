@@ -1,0 +1,118 @@
+package gridsim
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// The paper's Figure 7 presents "a sample of results obtained from
+// simulation": a single grid run. Monte-Carlo confidence on the quantities
+// behind it — how often forks emerge, how large the attacker's counterfeit
+// region grows — needs an ensemble of independent replicates, which are
+// embarrassingly parallel. RunTrials fans them across cores while keeping
+// the ensemble bit-identical for any worker count: trial i always runs with
+// seed DeriveSeed(cfg.Seed, i) and results are collected in trial order.
+
+// TrialsConfig parameterizes a Monte-Carlo ensemble of grid runs.
+type TrialsConfig struct {
+	// Trials is the number of independent replicates.
+	Trials int
+	// Blocks is the number of block intervals each replicate simulates.
+	// Default 40 (the span-ratio ablation's horizon).
+	Blocks int
+	// Workers bounds concurrent replicates; <= 0 means one per CPU.
+	Workers int
+}
+
+// Trial is the outcome of one replicate.
+type Trial struct {
+	// Seed is the derived seed the replicate ran with.
+	Seed int64
+	// Forks is the number of branches that emerged beyond the main chain.
+	Forks int
+	// CounterfeitCells is the number of cells on an attacker branch at the
+	// end of the run.
+	CounterfeitCells int
+	// MaxHeight is the global best height at the end of the run.
+	MaxHeight int
+}
+
+// TrialsResult summarizes the ensemble.
+type TrialsResult struct {
+	// Config echoes the grid configuration the replicates shared (modulo
+	// the per-trial seed).
+	Config Config
+	// Blocks is the per-replicate horizon in block intervals.
+	Blocks int
+	// Trials holds every replicate outcome, in trial order.
+	Trials []Trial
+	// ForkRate is the mean forks-per-block-interval across replicates, with
+	// the half-width of its 95% confidence interval.
+	ForkRate, ForkRateCI float64
+	// MeanForks is the mean fork count per replicate, with its 95% CI
+	// half-width.
+	MeanForks, MeanForksCI float64
+	// MeanCounterfeitShare is the mean fraction of cells left on an
+	// attacker branch, with its 95% CI half-width.
+	MeanCounterfeitShare, MeanCounterfeitShareCI float64
+}
+
+func (tc TrialsConfig) withDefaults() TrialsConfig {
+	if tc.Blocks == 0 {
+		tc.Blocks = 40
+	}
+	return tc
+}
+
+// RunTrials runs tc.Trials independent grid simulations of cfg, each for
+// tc.Blocks block intervals under its own derived seed, fanned across
+// tc.Workers cores. The result is identical for any worker count.
+func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
+	tc = tc.withDefaults()
+	if tc.Trials <= 0 {
+		return nil, fmt.Errorf("gridsim: trials %d must be positive", tc.Trials)
+	}
+	if tc.Blocks <= 0 {
+		return nil, fmt.Errorf("gridsim: blocks %d must be positive", tc.Blocks)
+	}
+	// Validate once up front so a bad config fails before the fan-out.
+	if err := cfg.withDefaults().Validate(); err != nil {
+		return nil, err
+	}
+	trials, err := parallel.Trials(tc.Workers, cfg.Seed, tc.Trials,
+		func(trial int, seed int64) (Trial, error) {
+			runCfg := cfg
+			runCfg.Seed = seed
+			g, err := New(runCfg)
+			if err != nil {
+				return Trial{}, fmt.Errorf("trial %d: %w", trial, err)
+			}
+			g.Advance(g.StepsPerBlock() * tc.Blocks)
+			return Trial{
+				Seed:             seed,
+				Forks:            g.ForksEmerged(),
+				CounterfeitCells: g.CounterfeitCells(),
+				MaxHeight:        g.Snapshot().MaxHeight,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &TrialsResult{Config: cfg, Blocks: tc.Blocks, Trials: trials}
+	n := cfg.withDefaults().Size
+	cells := float64(n * n)
+	forks := make([]float64, len(trials))
+	rates := make([]float64, len(trials))
+	shares := make([]float64, len(trials))
+	for i, t := range trials {
+		forks[i] = float64(t.Forks)
+		rates[i] = float64(t.Forks) / float64(tc.Blocks)
+		shares[i] = float64(t.CounterfeitCells) / cells
+	}
+	res.MeanForks, res.MeanForksCI = stats.MeanCI95(forks)
+	res.ForkRate, res.ForkRateCI = stats.MeanCI95(rates)
+	res.MeanCounterfeitShare, res.MeanCounterfeitShareCI = stats.MeanCI95(shares)
+	return res, nil
+}

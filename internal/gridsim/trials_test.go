@@ -1,0 +1,99 @@
+package gridsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func trialsBase() Config {
+	return Config{
+		Size: 15, SpanRatio: 0.5, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 3, Seed: 9,
+	}
+}
+
+func TestRunTrialsValidation(t *testing.T) {
+	if _, err := RunTrials(trialsBase(), TrialsConfig{Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunTrials(trialsBase(), TrialsConfig{Trials: 2, Blocks: -1}); err == nil {
+		t.Error("negative blocks accepted")
+	}
+	bad := trialsBase()
+	bad.Size = 1
+	if _, err := RunTrials(bad, TrialsConfig{Trials: 2}); err == nil {
+		t.Error("invalid grid config accepted")
+	}
+}
+
+func TestRunTrialsSummary(t *testing.T) {
+	res, err := RunTrials(trialsBase(), TrialsConfig{Trials: 8, Blocks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 8 || res.Blocks != 12 {
+		t.Fatalf("shape: %d trials, %d blocks", len(res.Trials), res.Blocks)
+	}
+	// An under-synchronized grid (Rspan 0.5) with a 30% attacker must fork.
+	if res.MeanForks <= 0 {
+		t.Errorf("mean forks = %v, want > 0", res.MeanForks)
+	}
+	// At most one fork can emerge per block event.
+	if res.ForkRate <= 0 || res.ForkRate > 1 {
+		t.Errorf("fork rate = %v", res.ForkRate)
+	}
+	if res.MeanForksCI < 0 || res.ForkRateCI < 0 || res.MeanCounterfeitShareCI < 0 {
+		t.Error("negative CI half-width")
+	}
+	for i, tr := range res.Trials {
+		if tr.MaxHeight <= 0 {
+			t.Errorf("trial %d: no chain growth", i)
+		}
+		if tr.Seed == trialsBase().Seed {
+			t.Errorf("trial %d ran with the root seed, not a derived one", i)
+		}
+	}
+}
+
+// TestRunTrialsDeterministic is the ISSUE's regression contract: same root
+// seed, workers ∈ {1, 2, 8} → bit-identical ensembles.
+func TestRunTrialsDeterministic(t *testing.T) {
+	run := func(workers int) *TrialsResult {
+		res, err := RunTrials(trialsBase(), TrialsConfig{Trials: 10, Blocks: 10, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.Trials, want.Trials) {
+			t.Errorf("workers=%d: per-trial outcomes diverged", workers)
+		}
+		if got.MeanForks != want.MeanForks || got.ForkRate != want.ForkRate ||
+			got.MeanCounterfeitShare != want.MeanCounterfeitShare {
+			t.Errorf("workers=%d: summary diverged", workers)
+		}
+	}
+}
+
+// TestRunTrialsSeedSensitivity: distinct root seeds must yield distinct
+// ensembles (the derivation is not degenerate).
+func TestRunTrialsSeedSensitivity(t *testing.T) {
+	a := trialsBase()
+	b := trialsBase()
+	b.Seed = 10
+	ra, err := RunTrials(a, TrialsConfig{Trials: 6, Blocks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunTrials(b, TrialsConfig{Trials: 6, Blocks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra.Trials, rb.Trials) {
+		t.Error("different roots produced identical ensembles")
+	}
+}

@@ -140,6 +140,27 @@ func BisectMinInt(lo, hi int, pred func(int) bool) int {
 	return hi + 1
 }
 
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// normal-approximation confidence interval (1.96 · s/√n, with the unbiased
+// sample standard deviation). Monte-Carlo ensembles report their headline
+// rates as mean ± half. Fewer than two samples yield a zero half-width.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, 1.96 * math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}
+
 // Clamp bounds x to the closed interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {
