@@ -1,11 +1,13 @@
 # Tier-1 verification gate and performance tooling.
 #
-#   make check      — the tier-1 gate: build, vet, tests, race tests
+#   make check      — the tier-1 gate: build, vet, repolint, tests, race tests
+#   make lint       — go vet + the repo's own analyzers (cmd/repolint)
+#   make ci         — the gate plus gofmt cleanliness; what CI should run
 #   make bench      — every table/figure/ablation benchmark + parallel pairs
 #   make benchjson  — machine-readable sequential-vs-parallel report
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson clean
+.PHONY: all build vet lint test race check ci fmtcheck bench benchjson clean
 
 all: check
 
@@ -15,6 +17,12 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs go vet plus the determinism-and-safety analyzers from
+# internal/lint (seededrand, maporder, nogoroutine, wallclock, checkederr —
+# see DESIGN.md §8). Any diagnostic fails the target.
+lint: vet
+	$(GO) run ./cmd/repolint ./...
+
 test:
 	$(GO) test ./...
 
@@ -22,7 +30,16 @@ race:
 	$(GO) test -race ./...
 
 # check is the tier-1 gate every PR must keep green (see README).
-check: build vet test race
+check: build lint test race
+
+# fmtcheck fails if any file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the single command a CI workflow should run: the full tier-1 gate
+# plus formatting cleanliness.
+ci: check fmtcheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,81 @@
+// Command repolint is the repository's multichecker: it runs every
+// determinism-and-safety analyzer in internal/lint over the packages
+// matching its arguments (default ./...) and exits non-zero on any
+// finding. It is part of the tier-1 gate via `make lint` / `make check`,
+// alongside go vet.
+//
+// Usage:
+//
+//	repolint [-fix] [-tests=false] [packages]
+//
+// With -fix, safe suggested fixes (such as inserting the missing sort after
+// a map-keys loop) are applied to the source in place and the suite is run
+// again; the exit status reflects the findings that remain. A finding can
+// be suppressed at a specific site with a justified directive on or above
+// the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "apply safe suggested fixes in place, then re-lint")
+	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-fix] [-tests=false] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := run(*tests, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if *fix && len(findings) > 0 {
+		applied, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint: applying fixes:", err)
+			os.Exit(2)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "repolint: applied %d fix(es); re-linting\n", applied)
+			if findings, err = run(*tests, patterns); err != nil {
+				fmt.Fprintln(os.Stderr, "repolint:", err)
+				os.Exit(2)
+			}
+		}
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// run loads the packages and applies the full suite once.
+func run(tests bool, patterns []string) ([]lint.Finding, error) {
+	pkgs, err := load.Packages(".", tests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, lint.Analyzers())
+}

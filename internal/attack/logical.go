@@ -222,9 +222,17 @@ func DiversityIndex(pop *dataset.Population) float64 {
 	if total == 0 {
 		return 0
 	}
+	// Fold in sorted-version order: float addition is not associative, so
+	// summing in map iteration order would make the index vary run to run.
+	counts := pop.VersionCounts()
+	versions := make([]string, 0, len(counts))
+	for v := range counts {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
 	var hhi float64
-	for _, n := range pop.VersionCounts() {
-		s := float64(n) / total
+	for _, v := range versions {
+		s := float64(counts[v]) / total
 		hhi += s * s
 	}
 	return hhi

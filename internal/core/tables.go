@@ -23,7 +23,9 @@ func renderTable(title string, header []string, rows [][]string) string {
 	for _, r := range rows {
 		fmt.Fprintln(tw, strings.Join(r, "\t"))
 	}
-	tw.Flush()
+	// Explicit discard: tabwriter.Flush only fails when the underlying
+	// writer fails, and strings.Builder never does.
+	_ = tw.Flush()
 	return b.String()
 }
 

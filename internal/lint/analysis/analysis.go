@@ -1,0 +1,88 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// lint suite works in a hermetic build (no module downloads). It keeps the
+// upstream API shape — Analyzer, Pass, Diagnostic, SuggestedFix — so the
+// analyzers in sibling packages read like stock go/analysis checkers and
+// could be ported to the real framework by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and in
+// //lint:ignore directives), one-paragraph documentation, and a Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a summary, the rest explains the
+	// invariant the analyzer encodes.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed source files of the package, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds resolved identifiers, expression types, and
+	// selections for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file — several
+// analyzers in this suite scope their invariant to non-test code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// Diagnostic is one finding: a source range, a message, and zero or more
+// machine-applicable fixes.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional: defaults to Pos
+	Message string
+	// SuggestedFixes are edits the driver may apply under -fix. A fix must
+	// be safe: applying it preserves behaviour except for the invariant
+	// being restored.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one alternative fix, expressed as raw text edits.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. Insertions use
+// Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

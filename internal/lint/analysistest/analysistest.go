@@ -1,0 +1,225 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// A fixture line expects diagnostics with a trailing comment:
+//
+//	rand.Intn(6) // want `global math/rand call`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match the message of exactly one diagnostic reported
+// on that line; diagnostics with no matching expectation, and expectations
+// with no matching diagnostic, fail the test. Fixture packages live under
+// <testdata>/src/<importpath> and may import only the standard library.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports every mismatch between diagnostics and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, filepath.Join(testdata, "src", pkgPath), pkgPath, a)
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("%s: no fixture files in %s (%v)", pkgPath, dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+	exports, err := load.StdExports(".", importList...)
+	if err != nil {
+		t.Fatalf("%s: resolving fixture imports: %v", pkgPath, err)
+	}
+	pkg, info, err := load.Check(pkgPath, fset, files, exports)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	expectations := collectWants(t, fset, files)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expectations, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose pattern
+// matches message.
+func claim(expectations []*expectation, file string, line int, message string) bool {
+	for _, e := range expectations {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE strips the leading "// want " marker from a comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses every // want comment into expectations anchored at
+// the comment's line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+						raw:     raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns tokenises the tail of a want comment into its quoted
+// patterns (double- or back-quoted, space-separated).
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern: %s", pos.Filename, pos.Line, s)
+			}
+			raw = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			var err error
+			end := quotedEnd(s)
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern: %s", pos.Filename, pos.Line, s)
+			}
+			raw, err = strconv.Unquote(s[:end])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, s[:end], err)
+			}
+			s = s[end:]
+		default:
+			t.Fatalf("%s:%d: want patterns must be quoted, got: %s", pos.Filename, pos.Line, s)
+		}
+		out = append(out, raw)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// quotedEnd returns the index just past the closing double quote of the
+// quoted string starting at s[0], honouring backslash escapes.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// WriteTree is a helper for tests that need to materialise a fixture tree
+// at runtime; it writes files (path → contents, relative to dir).
+func WriteTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, contents := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

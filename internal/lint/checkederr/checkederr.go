@@ -1,0 +1,105 @@
+// Package checkederr flags statements that silently drop an error return.
+// In an experiment pipeline a swallowed I/O or encoding error does not
+// crash — it yields a truncated table or CSV that looks like a result. The
+// invariant: in non-test code, a call whose type includes error may not
+// stand alone as a statement; handle the error or assign it to _ with a
+// reason. Deliberately out of scope, and documented in DESIGN.md §8:
+// `defer f.Close()` (a DeferStmt, not an ExprStmt), the fmt print family,
+// and the never-failing writers strings.Builder and bytes.Buffer.
+package checkederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/internal/astutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "checkederr",
+	Doc: "flags expression statements that discard an error result in " +
+		"non-test code",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unchecked error: result of %s is discarded; handle it or assign to _ with a reason",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isError(t)
+	}
+}
+
+// errorType is the built-in error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// exempt reports whether the callee is on the documented allowlist: the fmt
+// print family (whose error is the writer's, unusable for stdout and
+// in-memory sinks) and methods of the never-failing in-memory writers.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+			if (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package checkederr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/checkederr"
+)
+
+// TestCheckedErr covers dropped error statements plus the documented
+// exemptions: defer, the fmt print family, explicit _ discards, and the
+// never-failing in-memory writers.
+func TestCheckedErr(t *testing.T) {
+	analysistest.Run(t, "../testdata", checkederr.Analyzer, "checkederr")
+}

@@ -1,0 +1,36 @@
+// Package astutil holds the small type-resolution helpers the analyzers
+// share.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method a call expression invokes, through
+// any number of parentheses. It returns nil for calls of builtins, function
+// values, conversions, and anything else that is not a declared *types.Func
+// — which is what makes the analyzers robust to import aliases and dot
+// imports: resolution goes through the type-checker, not source text.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source range. Analyzers use it to tell loop-local variables from state
+// that outlives a loop.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}

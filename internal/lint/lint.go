@@ -1,0 +1,202 @@
+// Package lint runs the repository's determinism-and-safety analyzers over
+// loaded packages and filters findings through //lint:ignore suppression
+// directives. It is shared by cmd/repolint (the multichecker driver) and by
+// the tier-1 seed-audit test at the repository root.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/checkederr"
+	"repro/internal/lint/load"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/nogoroutine"
+	"repro/internal/lint/seededrand"
+	"repro/internal/lint/wallclock"
+)
+
+// Analyzers is the suite cmd/repolint runs: every invariant DESIGN.md §8
+// documents, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		checkederr.Analyzer,
+		maporder.Analyzer,
+		nogoroutine.Analyzer,
+		seededrand.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Finding is one unsuppressed diagnostic, located for printing and fixing.
+type Finding struct {
+	// Analyzer is the name of the analyzer that reported the finding.
+	Analyzer string
+	// Position is the resolved source position of Diagnostic.Pos.
+	Position token.Position
+	// Diagnostic is the raw diagnostic, including suggested fixes.
+	Diagnostic analysis.Diagnostic
+	// Fset resolves the diagnostic's positions (needed to apply fixes).
+	Fset *token.FileSet
+}
+
+// String formats the finding the way the driver prints it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the findings that
+// no //lint:ignore directive suppresses, sorted by position then analyzer.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := directives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppresses(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer:   a.Name,
+					Position:   pos,
+					Diagnostic: d,
+					Fset:       pkg.Fset,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressions records //lint:ignore directives: file → line → analyzer
+// names suppressed on that line.
+type suppressions map[string]map[int][]string
+
+// directives collects //lint:ignore directives from every comment in files.
+// A directive written on its own line suppresses matching diagnostics on the
+// next line; written as a trailing comment it suppresses its own line. The
+// form is:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a suppression without a justification is itself
+// a smell.
+func directives(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					// No analyzer name or no reason: not a valid directive.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if sup[pos.Filename] == nil {
+					sup[pos.Filename] = map[int][]string{}
+				}
+				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], fields[0])
+			}
+		}
+	}
+	return sup
+}
+
+// suppresses reports whether a directive on the diagnostic's line or the
+// line above names the analyzer.
+func (s suppressions) suppresses(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyFixes applies every suggested fix attached to findings, rewriting
+// the affected files in place. Edits are applied from the end of each file
+// backwards so earlier offsets stay valid. It returns the number of edits
+// applied.
+func ApplyFixes(findings []Finding) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		for _, fix := range f.Diagnostic.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := f.Fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = f.Fset.Position(te.End)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename], edit{
+					start: start.Offset,
+					end:   end.Offset,
+					text:  te.NewText,
+				})
+			}
+		}
+	}
+	applied := 0
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := -1
+		for _, e := range edits {
+			if prev >= 0 && e.end > prev {
+				continue // overlapping edit: keep the first applied
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+			prev = e.start
+			applied++
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

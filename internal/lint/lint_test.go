@@ -1,0 +1,126 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/maporder"
+)
+
+// fixtureSrc has one maporder violation (unsorted), one suppressed by a
+// justified //lint:ignore directive, and one already clean — so a single
+// run exercises reporting, suppression, and the sort-insertion fix.
+const fixtureSrc = `package demo
+
+import "sort"
+
+func unsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func suppressed(m map[string]int) []string {
+	var ks []string
+	//lint:ignore maporder demonstration: consumers treat ks as a set
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func clean(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+`
+
+// checkFile parses and type-checks one on-disk file as a throwaway package.
+func checkFile(t *testing.T, path string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.StdExports(".", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := load.Check("demo", fset, []*ast.File{f}, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{
+		ImportPath: "demo",
+		Dir:        filepath.Dir(path),
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      pkg,
+		Info:       info,
+	}
+}
+
+// TestSuppressionAndFix drives the shared runner the way cmd/repolint does:
+// the unsuppressed finding is reported with a sort-insertion fix, the
+// directive swallows the second violation, and applying the fix leaves the
+// file lint-clean.
+func TestSuppressionAndFix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.go")
+	if err := os.WriteFile(path, []byte(fixtureSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := lint.Run([]*load.Package{checkFile(t, path)}, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the unsuppressed finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "maporder" || !strings.Contains(f.Diagnostic.Message, "appends to ks") {
+		t.Fatalf("unexpected finding: %v", f)
+	}
+	if len(f.Diagnostic.SuggestedFixes) != 1 {
+		t.Fatalf("want one suggested fix, got %d", len(f.Diagnostic.SuggestedFixes))
+	}
+
+	applied, err := lint.ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("want 1 applied edit, got %d", applied)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(fixed), "sort.Strings(ks)"); got != 2 {
+		t.Fatalf("want the inserted sort plus the pre-existing one (2), got %d in:\n%s", got, fixed)
+	}
+
+	// The fixed file must be valid Go and lint-clean.
+	findings, err = lint.Run([]*load.Package{checkFile(t, path)}, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("fixed file should be clean, got: %v", findings)
+	}
+}

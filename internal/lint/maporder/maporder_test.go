@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/maporder"
+)
+
+// TestMapOrder covers unsorted emission/append/float-fold positives and the
+// collect-sort-use, integer-fold, and loop-local negatives.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", maporder.Analyzer, "maporder", "maporder_ok")
+}

@@ -1,0 +1,15 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nogoroutine"
+)
+
+// TestNoGoroutine covers go statements and raw WaitGroup fan-out outside
+// internal/parallel, and the worker pool itself passing clean.
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, "../testdata", nogoroutine.Analyzer,
+		"nogoroutine", "internal/parallel")
+}

@@ -1,0 +1,15 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/seededrand"
+)
+
+// TestSeededRand covers direct calls, alias-import and dot-import evasion,
+// wall-clock seeding, and the injected-*rand.Rand convention passing clean.
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "../testdata", seededrand.Analyzer,
+		"seededrand", "seededrand_alias", "seededrand_dot", "seededrand_ok")
+}

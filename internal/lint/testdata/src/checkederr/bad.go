@@ -1,0 +1,34 @@
+// Positive and negative cases for dropped error returns.
+package checkederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func save(path string, rows []string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // DeferStmt: deliberately out of scope
+	for _, r := range rows {
+		fmt.Fprintln(f, r) // fmt print family: allowlisted
+	}
+	f.Sync()  // want `unchecked error: result of f.Sync is discarded`
+	f.Close() // want `unchecked error: result of f.Close is discarded`
+}
+
+func cleanup(path string) {
+	os.Remove(path)     // want `unchecked error: result of os.Remove is discarded`
+	_ = os.Remove(path) // explicit discard: allowed (reviewer sees the _)
+}
+
+func render(rows []string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r) // strings.Builder never fails: allowlisted
+	}
+	return b.String()
+}

@@ -1,0 +1,17 @@
+// Negative case: internal/parallel is the one place raw fan-out is legal —
+// it is the deterministic worker pool everything else must use.
+package parallel
+
+import "sync"
+
+func pool(workers int, run func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+// Positive cases: map iteration order leaking into output.
+package maporder
+
+import (
+	"fmt"
+	"strings"
+)
+
+// emit prints in map order.
+func emit(m map[string]int) {
+	for k, v := range m { // want `range over map m emits output via fmt.Println in map iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+// build writes into a string builder in map order.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map m emits output via b.WriteString in map iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// keys accumulates map keys and never sorts them.
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `range over map m appends to ks in map iteration order with no subsequent sort`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sum folds float values in map order: float addition is not associative.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m accumulates floating-point total in map iteration order`
+		total += v
+	}
+	return total
+}

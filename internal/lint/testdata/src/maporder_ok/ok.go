@@ -1,0 +1,70 @@
+// Negative cases: sorted emission and order-insensitive accumulation.
+package maporder_ok
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys collects keys and sorts them before use: the canonical fix.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sortedEmit ranges over the sorted key slice, not the map.
+func sortedEmit(m map[string]int) {
+	ks := sortedKeys(m)
+	for _, k := range ks {
+		fmt.Println(k, m[k])
+	}
+}
+
+// sortSlice uses sort.Slice instead of sort.Strings: also fine.
+func sortSlice(m map[int][]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortHelper establishes order through a local sorting function: the
+// analyzer trusts a post-loop call named sort*/Sort* that takes the
+// accumulator.
+func sortHelper(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortStrings(ks)
+	return ks
+}
+
+func sortStrings(ks []string) { sort.Strings(ks) }
+
+// count accumulates an integer: addition over int is commutative and
+// associative, so iteration order cannot show in the result.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localOnly appends to a slice that dies inside the loop body.
+func localOnly(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}

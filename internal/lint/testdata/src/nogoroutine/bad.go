@@ -1,0 +1,20 @@
+// Positive cases: raw concurrency outside internal/parallel.
+package nogoroutine
+
+import "sync"
+
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(jobs))
+	for _, job := range jobs {
+		go func() { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+func fire(job func()) {
+	go job() // want `raw goroutine outside internal/parallel`
+}

@@ -1,0 +1,20 @@
+// Positive cases: global math/rand draws and wall-clock seeding.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws() {
+	_ = rand.Intn(6)                   // want `global math/rand call "rand.Intn" escapes the experiment seed`
+	_ = rand.Float64()                 // want `global math/rand call "rand.Float64" escapes the experiment seed`
+	_ = rand.Perm(10)                  // want `global math/rand call "rand.Perm" escapes the experiment seed`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand call "rand.Shuffle" escapes the experiment seed`
+	rand.Seed(1)                       // want `global math/rand call "rand.Seed" escapes the experiment seed`
+}
+
+func wallClockSeeds() {
+	_ = rand.NewSource(time.Now().UnixNano())           // want `rand.NewSource seeded from the wall clock \(time.Now\)`
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.NewSource seeded from the wall clock \(time.Now\)`
+}

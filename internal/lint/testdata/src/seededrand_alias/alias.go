@@ -1,0 +1,10 @@
+// Evasion case: an import alias must not hide the global source.
+package seededrand_alias
+
+import mr "math/rand"
+
+func aliased() {
+	_ = mr.Intn(6)                      // want `global math/rand call "mr.Intn" escapes the experiment seed`
+	_ = mr.Float64()                    // want `global math/rand call "mr.Float64" escapes the experiment seed`
+	_ = mr.New(mr.NewSource(7)).Intn(6) // seeded constructor + method: allowed
+}

@@ -1,0 +1,10 @@
+// Evasion case: a dot import must not hide the global source either.
+package seededrand_dot
+
+import . "math/rand"
+
+func dotted() {
+	_ = Intn(6)            // want `global math/rand call "Intn" escapes the experiment seed`
+	_ = ExpFloat64()       // want `global math/rand call "ExpFloat64" escapes the experiment seed`
+	_ = New(NewSource(11)) // seeded constructor: allowed
+}

@@ -1,0 +1,16 @@
+// Negative cases: the injected-seeded-source convention passes clean.
+package seededrand_ok
+
+import "math/rand"
+
+func seeded(seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		out = append(out, r.Intn(100))
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	z := rand.NewZipf(r, 1.5, 1, 100)
+	out = append(out, int(z.Uint64()))
+	return out
+}

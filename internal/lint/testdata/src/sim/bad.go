@@ -1,0 +1,15 @@
+// Positive cases: wall-clock reads inside a simulation package ("sim" is
+// one of the simulated-time leaf names).
+package sim
+
+import "time"
+
+func step(started time.Time) time.Duration {
+	t0 := time.Now()             // want `time.Now in simulation package "sim"`
+	time.Sleep(time.Millisecond) // want `time.Sleep in simulation package "sim"`
+	_ = time.Since(started)      // want `time.Since in simulation package "sim"`
+	return time.Until(t0)        // want `time.Until in simulation package "sim"`
+}
+
+// durations alone are fine: only clock reads are banned.
+func horizon() time.Duration { return 4 * time.Hour }

@@ -1,0 +1,7 @@
+// Negative case: a non-simulation package may read the wall clock freely
+// (progress logs, benchmark tooling).
+package tools
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

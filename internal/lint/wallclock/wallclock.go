@@ -1,0 +1,71 @@
+// Package wallclock bans reading the wall clock in simulation packages.
+// Simulated time in this repository advances only through the discrete
+// event engine (Engine.Now / Engine.After); a time.Now or time.Since in a
+// simulation path makes measured durations depend on host speed and
+// scheduling, which is precisely the nondeterminism a measurement
+// reproduction cannot afford. The check applies to non-test files of the
+// simulation packages (attack, gridsim, netsim, sim, p2p, core); tooling
+// such as cmd/* may read the clock freely.
+package wallclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/internal/astutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "bans time.Now/time.Since/time.Until/time.Sleep in simulation " +
+		"packages, where time must come from the event clock",
+	Run: run,
+}
+
+// simPackages are the import-path leaf names of the packages whose time is
+// simulated.
+var simPackages = map[string]bool{
+	"attack":  true,
+	"gridsim": true,
+	"netsim":  true,
+	"sim":     true,
+	"p2p":     true,
+	"core":    true,
+}
+
+// banned are the time functions that read or wait on the host clock.
+var banned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+func run(pass *analysis.Pass) error {
+	parts := strings.Split(pass.Pkg.Path(), "/")
+	if !simPackages[parts[len(parts)-1]] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astutil.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in simulation package %q: simulated time must come from the event clock (Engine.Now), not the host wall clock",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

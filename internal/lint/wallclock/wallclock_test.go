@@ -1,0 +1,14 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wallclock"
+)
+
+// TestWallClock covers clock reads inside a simulation package and the
+// tooling-package exemption.
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "tools")
+}

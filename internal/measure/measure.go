@@ -68,7 +68,7 @@ func TopASes(p *dataset.Population, n int) []HostRow {
 		}
 		rows = append(rows, HostRow{Label: label, Nodes: r.Nodes})
 	}
-	return finishHostRows(rows, len(p.Nodes), n)
+	return sortHostRows(rows, len(p.Nodes), n)
 }
 
 // TopOrgs returns the n organizations hosting the most nodes.
@@ -78,10 +78,13 @@ func TopOrgs(p *dataset.Population, n int) []HostRow {
 	for org, c := range counts {
 		rows = append(rows, HostRow{Label: org, Nodes: c})
 	}
-	return finishHostRows(rows, len(p.Nodes), n)
+	return sortHostRows(rows, len(p.Nodes), n)
 }
 
-func finishHostRows(rows []HostRow, total, n int) []HostRow {
+// sortHostRows establishes the total row order (nodes descending, label as
+// the tiebreak — so equal counts cannot leak map iteration order), then
+// truncates to n and fills fractions.
+func sortHostRows(rows []HostRow, total, n int) []HostRow {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Nodes != rows[j].Nodes {
 			return rows[i].Nodes > rows[j].Nodes
@@ -110,6 +113,7 @@ func ASCdf(p *dataset.Population) stats.CDF {
 // OrgCdf returns the Figure 3 CDF over organizations.
 func OrgCdf(p *dataset.Population) stats.CDF {
 	counts := make([]int, 0)
+	//lint:ignore maporder CumulativeFromCounts sorts the counts internally, so collection order cannot reach the CDF
 	for _, c := range p.OrgNodeCounts() {
 		counts = append(counts, c)
 	}

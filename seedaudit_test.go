@@ -1,62 +1,34 @@
 package repro
 
 import (
-	"bufio"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"regexp"
-	"strings"
 	"testing"
-)
 
-// globalRandCall matches package-level math/rand source calls (rand.Intn,
-// rand.Float64, rand.Perm, rand.Seed, …). Calls on an injected *rand.Rand
-// appear as r.Intn / rng.Float64 and do not match; the seeded constructors
-// rand.New / rand.NewSource are explicitly allowed.
-var globalRandCall = regexp.MustCompile(
-	`\brand\.(Seed|Read|Int[0-9A-Za-z]*|Uint[0-9A-Za-z]*|Float(32|64)|ExpFloat64|NormFloat64|Perm|Shuffle)\(`)
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/seededrand"
+)
 
 // TestNoSeedEscapingRand enforces the repository's determinism convention
 // (DESIGN.md §6): every random draw flows through an explicitly seeded
 // *rand.Rand, so no code path escapes the experiment seed. The global
 // math/rand source is process-wide state whose stream depends on what ran
 // before — one call through it silently breaks reproducibility.
+//
+// The check is the seededrand analyzer from internal/lint (also run by
+// cmd/repolint and `make lint`): unlike the regex scan it replaced, it is
+// type-aware, so import aliases, dot imports, and wall-clock seeding
+// (rand.NewSource(time.Now().UnixNano())) cannot slip past it.
 func TestNoSeedEscapingRand(t *testing.T) {
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if strings.HasPrefix(d.Name(), ".") && path != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-		line := 0
-		for sc.Scan() {
-			line++
-			text := sc.Text()
-			if idx := strings.Index(text, "//"); idx >= 0 {
-				text = text[:idx]
-			}
-			if m := globalRandCall.FindString(text); m != "" {
-				t.Errorf("%s:%d: global math/rand call %q escapes the experiment seed; inject a seeded *rand.Rand (stats.NewRand)", path, line, m)
-			}
-		}
-		return sc.Err()
-	})
+	pkgs, err := load.Packages(".", true, "./...")
 	if err != nil {
 		t.Fatal(err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{seededrand.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d: %s", f.Position.Filename, f.Position.Line, f.Diagnostic.Message)
 	}
 }
