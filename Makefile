@@ -3,11 +3,12 @@
 #   make check      — the tier-1 gate: build, vet, repolint, tests, race tests
 #   make lint       — go vet + the repo's own analyzers (cmd/repolint)
 #   make ci         — the gate plus gofmt cleanliness; what CI should run
-#   make bench      — every table/figure/ablation benchmark + parallel pairs
+#   make bench      — every table/figure/ablation benchmark + both JSON gates
 #   make benchjson  — machine-readable sequential-vs-parallel report
+#   make benchobs   — observability overhead gate (DESIGN.md §9, ≤5%)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck bench benchjson clean
+.PHONY: all build vet lint test race check ci fmtcheck bench benchjson benchobs clean
 
 all: check
 
@@ -41,13 +42,19 @@ fmtcheck:
 # plus formatting cleanliness.
 ci: check fmtcheck
 
-bench:
+bench: benchobs
 	$(GO) test -bench=. -benchmem ./...
 
 # benchjson regenerates BENCH_parallel.json: ns/op for the sequential vs
 # parallel variants of the hot experiment paths.
 benchjson:
 	$(GO) run ./cmd/benchjson -out BENCH_parallel.json
+
+# benchobs regenerates BENCH_obs.json and enforces the DESIGN.md §9 gate:
+# each hot workload measured with instrumentation off and on must stay
+# within 5% overhead.
+benchobs:
+	$(GO) run ./cmd/benchjson -obs -out BENCH_obs.json
 
 clean:
 	$(GO) clean ./...

@@ -36,24 +36,23 @@ var (
 	benchErr      error
 )
 
-func benchOptions(workers int) core.Options {
-	return core.Options{
-		TableVTraceDays: 1,
-		Figure6aDays:    1,
-		GridSize:        25,
-		NetworkNodes:    150,
-		Workers:         workers,
+func benchOptions(workers int) []core.Option {
+	return []core.Option{
+		core.WithWindows(1, 1),
+		core.WithGridSize(25),
+		core.WithNetworkNodes(150),
+		core.WithWorkers(workers),
 	}
 }
 
 func initStudies() {
 	benchOnce.Do(func() {
 		// The two studies share one memoized population (same seed).
-		benchStudy, benchErr = core.NewStudyWithOptions(1, benchOptions(1))
+		benchStudy, benchErr = core.New(1, benchOptions(1)...)
 		if benchErr != nil {
 			return
 		}
-		benchParStudy, benchErr = core.NewStudyWithOptions(1, benchOptions(0))
+		benchParStudy, benchErr = core.New(1, benchOptions(0)...)
 	})
 }
 

@@ -33,7 +33,7 @@ func run() error {
 	out := flag.String("o", "-", "output path (- for stdout)")
 	flag.Parse()
 
-	study, err := core.NewStudy(*seed)
+	study, err := core.New(*seed)
 	if err != nil {
 		return err
 	}

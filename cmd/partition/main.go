@@ -20,13 +20,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
-	"repro/internal/measure"
-	"repro/internal/mining"
-	"repro/internal/netsim"
-	"repro/internal/p2p"
-	"repro/internal/stats"
+	"repro/internal/obs"
 	"repro/internal/topology"
-	"repro/internal/vulndb"
 )
 
 func main() {
@@ -45,30 +40,66 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "generation seed")
 	full := fs.Bool("full", false, "paper-scale experiment windows (slow)")
 	workers := fs.Int("workers", 0, "parallel fan-out bound (0 = one per CPU, 1 = sequential); output is identical either way")
+	tracePath := fs.String("trace", "", "record the sim-time event trace and write it as JSONL to this path")
+	metrics := fs.Bool("metrics", false, "print the deterministic metrics snapshot after the command output")
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
 	}
-	opts := core.Options{}
+	opts := []core.Option{core.WithWorkers(*workers)}
 	if *full {
-		opts = core.Full()
+		opts = append(opts, core.WithFull())
 	}
-	opts.Workers = *workers
-	study, err := core.NewStudyWithOptions(*seed, opts)
+	var observer *obs.Observer
+	switch {
+	case *tracePath != "":
+		observer = obs.New(0)
+	case *metrics:
+		observer = obs.NewMetricsOnly()
+	}
+	if observer != nil {
+		opts = append(opts, core.WithObserver(observer))
+	}
+	study, err := core.New(*seed, opts...)
 	if err != nil {
 		return err
 	}
 	switch verb {
 	case "experiment":
-		return runExperiment(study, noun)
+		err = runExperiment(study, noun)
 	case "attack":
-		return runAttack(study, noun)
+		err = runAttack(study, noun)
 	case "defend":
-		return runDefense(study, noun)
+		err = runDefense(study, noun)
 	case "export":
-		return runExport(study, noun)
+		err = runExport(study, noun)
 	default:
 		return usageError()
 	}
+	if err != nil {
+		return err
+	}
+	return writeObservations(study, *tracePath, *metrics)
+}
+
+// writeObservations exports what the observer recorded: the metrics
+// snapshot to stdout (after the command's own output) and the event trace
+// as JSONL to the requested path.
+func writeObservations(study *core.Study, tracePath string, metrics bool) error {
+	if metrics {
+		fmt.Print(study.Snapshot().Render())
+	}
+	if tracePath == "" {
+		return nil
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := study.Observer().Tracer().WriteJSONL(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 // runExport writes machine-readable CSV for the data figures/tables.
@@ -212,268 +243,24 @@ func runExperiment(study *core.Study, name string) error {
 	return nil
 }
 
+// runAttack dispatches from the attack package's sorted plan registry;
+// unknown names report the registry in the error.
 func runAttack(study *core.Study, name string) error {
-	switch strings.ToLower(name) {
-	case "spatial":
-		return spatialAttack(study)
-	case "temporal":
-		_, out, err := study.Figure5Demo()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	case "spatiotemporal":
-		return spatioTemporalAttack(study)
-	case "logical":
-		return logicalAttack(study)
-	case "doublespend":
-		return doubleSpendAttack(study)
-	case "majority51":
-		return majority51Attack(study)
-	case "cascade":
-		return cascadeAttack(study)
-	default:
-		return fmt.Errorf("unknown attack %q", name)
-	}
-}
-
-func doubleSpendAttack(study *core.Study) error {
-	fmt.Println("Double-spend through a temporal partition")
-	sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+5)
-	if err != nil {
-		return err
-	}
-	sim.StartMining()
-	sim.Run(6 * time.Hour)
-	victims := attack.FindVictims(sim, 0, study.Opts.NetworkNodes/10)
-	res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
-		AttackerShare: 0.30,
-		HoldFor:       8 * time.Hour,
-		HealFor:       4 * time.Hour,
-		TrackPayment:  true,
-	}, victims)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  payment tx %d planted in the first counterfeit block\n", res.PaymentTx)
-	fmt.Printf("  merchant saw %d confirmations during the %d-block hold\n",
-		res.MerchantConfirmations, res.CounterfeitBlocks)
-	fmt.Printf("  payment reversed on heal: %v (double-spend %s)\n",
-		res.PaymentReversed, outcome(res.PaymentReversed && res.MerchantConfirmations >= 2))
-	return nil
-}
-
-func majority51Attack(study *core.Study) error {
-	fmt.Println("51% attack after spatially isolating Table IV's mining backbone")
-	sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+6)
-	if err != nil {
-		return err
-	}
-	sim.StartMining()
-	sim.Run(6 * time.Hour)
-	res, err := attack.ExecuteMajority51(sim, attack.MajorityConfig{
-		AttackerShare: 0.30,
-		IsolatedShare: 0.657, // the three hijacked ASes of Table IV
-		MineFor:       24 * time.Hour,
-		Seed:          study.Seed(),
+	plan, err := attack.NewPlan(strings.ToLower(name), attack.Env{
+		Pop:          study.Pop,
+		NetworkNodes: study.Opts.NetworkNodes,
+		Seed:         study.Seed(),
+		Obs:          study.Observer(),
+		NewSim:       study.NewSimFromPopulation,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  effective race: attacker 30.0%% vs honest %.1f%%\n", res.HonestShare*100)
-	fmt.Printf("  private chain: %d blocks vs public %d\n", res.AttackerBlocks, res.HonestBlocks)
-	fmt.Printf("  attacker wins: %v; history rewritten %d blocks deep; adopted by %d nodes\n",
-		res.AttackerWins, res.ReorgDepth, res.AdoptedBy)
-	return nil
-}
-
-func cascadeAttack(study *core.Study) error {
-	fmt.Println("Eclipse cascade: partial AS cut, interior nodes relaying via border nodes")
-	// The cascade precondition (§V-A implications): within the victim AS,
-	// interior nodes peer only among themselves and with a few border
-	// nodes that hold the external connectivity. Hijacking the prefixes
-	// that cover the border nodes then starves the whole AS.
-	const (
-		total    = 100
-		asSize   = 30 // victim AS nodes: 0..29
-		borders  = 6  // nodes 0..5 carry the AS's external links
-		outPeers = 8
-	)
-	build := func() (*netsim.Simulation, error) {
-		rng := stats.NewRand(study.Seed() + 7)
-		nodes := make([]*p2p.Node, total)
-		outbound := make([][]p2p.NodeID, total)
-		for i := range nodes {
-			asn := topology.ASN(24940)
-			if i >= asSize {
-				asn = topology.ASN(60000)
-			}
-			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{ASN: asn})
-			for len(outbound[i]) < outPeers {
-				var p int
-				switch {
-				case i < borders: // border: half internal, half external
-					if len(outbound[i])%2 == 0 {
-						p = rng.Intn(asSize)
-					} else {
-						p = asSize + rng.Intn(total-asSize)
-					}
-				case i < asSize: // interior: AS-only
-					p = rng.Intn(asSize)
-				default: // outside world: everyone else
-					p = asSize + rng.Intn(total-asSize)
-				}
-				if p == i {
-					continue
-				}
-				outbound[i] = append(outbound[i], p2p.NodeID(p))
-			}
-		}
-		return netsim.NewWithGraph(netsim.Config{
-			Nodes:        total,
-			Seed:         study.Seed() + 7,
-			GatewayNodes: []p2p.NodeID{total - 1}, // honest blocks enter outside
-			Gossip:       p2p.Config{FailureRate: 0.10},
-		}, nodes, outbound)
-	}
-	for _, frac := range []float64{0.1, 0.2, 0.5} {
-		sim, err := build()
-		if err != nil {
-			return err
-		}
-		sim.StartMining()
-		sim.Run(4 * time.Hour)
-		res, err := attack.ExecuteCascade(sim, attack.CascadeConfig{
-			Victim:      24940,
-			CutFraction: frac, // the cut takes the lowest IDs first: the border
-			RunFor:      12 * time.Hour,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  cut %.0f%% of the AS (%d nodes, border first): %d/%d survivors behind, mean lag %.1f blocks (outside: %.1f%% behind)\n",
-			frac*100, res.Cut, res.SurvivorsBehind, res.Survivors, res.MeanSurvivorLag, res.OutsideBehindFrac*100)
-	}
-	fmt.Println("  isolating the border subset eclipses the entire AS, as §V-A predicts")
-	return nil
-}
-
-func outcome(ok bool) string {
-	if ok {
-		return "SUCCEEDED"
-	}
-	return "failed"
-}
-
-func spatialAttack(study *core.Study) error {
-	sp, err := attack.NewSpatial(study.Pop)
+	res, err := plan.Run(nil, study.Observer().Registry())
 	if err != nil {
 		return err
 	}
-	pools, err := mining.NewPoolSet(dataset.TableIV())
-	if err != nil {
-		return err
-	}
-	fmt.Println("Spatial attack: sub-prefix hijack of AS24940 (Hetzner, 1,030 nodes)")
-	plan, err := sp.PlanAS(666, 24940, 0.95)
-	if err != nil {
-		return err
-	}
-	res, err := sp.Execute(plan, pools)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  prefixes hijacked: %d (announcements: %d)\n", plan.HijackCount, res.Announcements)
-	fmt.Printf("  nodes captured: %d of 1030 (%.1f%%)\n", res.CapturedNodes, float64(res.CapturedNodes)/10.30)
-	sp.Withdraw()
-
-	fmt.Println("Spatial attack on mining: hijack AS37963 + AS45102 + AS58563 (Table IV)")
-	share := attack.MinerIsolation(pools, []topology.ASN{37963, 45102, 58563})
-	fmt.Printf("  hash share isolated: %.1f%%\n", share*100)
-
-	fmt.Println("Nation-state scenario: block all Chinese ASes")
-	cplan, err := sp.PlanCountry(0, "CN")
-	if err != nil {
-		return err
-	}
-	var cnASes []topology.ASN
-	for _, t := range cplan.Targets {
-		cnASes = append(cnASes, t.Victim)
-	}
-	fmt.Printf("  nodes behind CN ASes: %d; hash share: %.1f%%\n",
-		cplan.ExpectedNodes, attack.MinerIsolation(pools, cnASes)*100)
-	return nil
-}
-
-func spatioTemporalAttack(study *core.Study) error {
-	tr, err := study.Pop.RunTrace(dataset.TraceConfig{
-		Duration: 24 * time.Hour, SampleEvery: 10 * time.Minute,
-		Seed: study.Seed() + 9, TrackSyncedByAS: true,
-	})
-	if err != nil {
-		return err
-	}
-	moment, err := attack.FindBestMoment(tr, 5)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Spatio-temporal attack: best moment at t=%v (synced %d, behind %d)\n",
-		moment.Time, moment.Synced, moment.Behind)
-	for _, cap := range []attack.Capability{attack.CapabilityRouting, attack.CapabilityMining, attack.CapabilityBoth} {
-		plan, err := attack.PlanSpatioTemporal(study.Pop, moment, cap, 5)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %v adversary: %d ASes (%d prefixes), %d temporal victims, coverage %.1f%%\n",
-			cap, len(plan.SpatialASes), plan.SpatialPrefixes, plan.TemporalVictims, plan.Coverage*100)
-	}
-	return nil
-}
-
-func logicalAttack(study *core.Study) error {
-	db := vulndb.New()
-	fmt.Println("Logical attack: software-version partitioning")
-	plans, err := attack.TopCaptureTargets(study.Pop, 3)
-	if err != nil {
-		return err
-	}
-	for _, p := range plans {
-		fmt.Printf("  controlling %q captures %d nodes (%.1f%% of network)\n",
-			p.Version, p.ControlledNodes, p.NetworkShare*100)
-	}
-	impact, err := attack.SimulateCrashExploit(study.Pop, db, "CVE-2018-17144")
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  CVE-2018-17144 crash exploit: %d of %d up nodes down (%.1f%%)\n",
-		impact.NodesDown, impact.UpBefore, impact.DownShare*100)
-	fmt.Printf("  client diversity (HHI): %.3f across %d variants\n",
-		attack.DiversityIndex(study.Pop), len(study.Pop.VersionCounts()))
-
-	// Live execution: controlled clients silently stop relaying; the
-	// honest remainder degrades with the captured share.
-	fmt.Println("  relay-silence execution (12h window):")
-	for _, k := range []int{1, 2, 20, 100} {
-		versions := []string{}
-		for _, row := range measure.TopVersions(study.Pop, k) {
-			versions = append(versions, row.Version)
-		}
-		sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+8)
-		if err != nil {
-			return err
-		}
-		sim.StartMining()
-		sim.Run(3 * time.Hour)
-		res, err := attack.ExecuteLogicalCapture(sim, versions, 12*time.Hour, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("    top %3d versions captured (%.0f%% of nodes silent): %.0f%% of honest nodes fall behind\n",
-			k, res.Share*100, res.HonestBehindFrac*100)
-	}
-	fmt.Println("  eight-peer gossip redundancy resists relay silence until capture is near-total —")
-	fmt.Println("  which is why §V-D frames logical control as an optimizer for the other attacks")
+	fmt.Print(res.Summary())
 	return nil
 }
 

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	study, err := core.NewStudy(5)
+	study, err := core.New(5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	study, err := core.NewStudy(21)
+	study, err := core.New(21)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func main() {
 
 	// A Study owns the synthetic crawl: 13,635 nodes across 1,660 ASes,
 	// calibrated to every aggregate the paper publishes.
-	study, err := core.NewStudy(42)
+	study, err := core.New(42)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	study, err := core.NewStudy(7)
+	study, err := core.New(7)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	study, err := core.NewStudy(11)
+	study, err := core.New(11)
 	if err != nil {
 		log.Fatal(err)
 	}

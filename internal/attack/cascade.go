@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/topology"
 )
@@ -75,6 +76,12 @@ func ExecuteCascade(sim *netsim.Simulation, cfg CascadeConfig) (*CascadeResult, 
 		cut[id] = true
 	}
 
+	trace := sim.Obs().Tracer()
+	trace.Emit(int64(sim.Engine.Now()), "attack", "cascade_cut",
+		obs.Fint("as", int64(cfg.Victim)),
+		obs.Fint("cut", int64(nCut)),
+		obs.Fint("members", int64(len(members))))
+
 	// Blackhole the cut set: no traffic in or out (BGP-level isolation).
 	sim.Network.SetPolicy(func(from, to p2p.NodeID, _ time.Duration) bool {
 		return !cut[from] && !cut[to]
@@ -108,5 +115,11 @@ func ExecuteCascade(sim *netsim.Simulation, cfg CascadeConfig) (*CascadeResult, 
 	if outside > 0 {
 		res.OutsideBehindFrac = float64(outsideBehind) / float64(outside)
 	}
+	sim.Obs().Registry().Counter("attack.victims_captured").Add(uint64(res.SurvivorsBehind))
+	trace.Emit(int64(sim.Engine.Now()), "attack", "cascade_end",
+		obs.Fint("survivors_behind", int64(res.SurvivorsBehind)),
+		obs.Ffloat("mean_survivor_lag", res.MeanSurvivorLag),
+		obs.Ffloat("outside_behind_frac", res.OutsideBehindFrac))
+	sim.ObserveSync()
 	return res, nil
 }

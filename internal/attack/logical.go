@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/vulndb"
 )
@@ -188,6 +189,12 @@ func ExecuteLogicalCapture(sim *netsim.Simulation, versions []string, runFor tim
 		Share:              float64(len(controlled)) / float64(len(sim.Network.Nodes)),
 		BaselineBehindFrac: baselineBehindFrac,
 	}
+	trace := sim.Obs().Tracer()
+	trace.Emit(int64(sim.Engine.Now()), "attack", "logical_capture_start",
+		obs.Fint("controlled", int64(res.Controlled)),
+		obs.Ffloat("share", res.Share))
+	sim.Obs().Registry().Counter("attack.victims_captured").Add(uint64(res.Controlled))
+
 	// Controlled nodes receive but never send: inv, getdata replies, and
 	// block relays all silently vanish.
 	sim.Network.SetPolicy(func(from, _ p2p.NodeID, _ time.Duration) bool {
@@ -210,6 +217,10 @@ func ExecuteLogicalCapture(sim *netsim.Simulation, versions []string, runFor tim
 	if honest > 0 {
 		res.HonestBehindFrac = float64(behind) / float64(honest)
 	}
+	trace.Emit(int64(sim.Engine.Now()), "attack", "logical_capture_end",
+		obs.Ffloat("honest_behind_frac", res.HonestBehindFrac),
+		obs.Ffloat("baseline_behind_frac", res.BaselineBehindFrac))
+	sim.ObserveSync()
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/blockchain"
 	"repro/internal/mining"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -74,10 +75,16 @@ func ExecuteMajority51(sim *netsim.Simulation, cfg MajorityConfig) (*MajorityRes
 		return nil, err
 	}
 	res := &MajorityResult{HonestShare: 1 - cfg.AttackerShare - cfg.IsolatedShare}
+	reg := sim.Obs().Registry()
+	trace := sim.Obs().Tracer()
 
 	// Fork point: the current public tip as seen by the best node.
 	gateway := sim.Gateways()[0]
 	forkBase := sim.Network.Nodes[gateway].Tree.Tip()
+	trace.Emit(int64(sim.Engine.Now()), "attack", "majority_start",
+		obs.Ffloat("attacker_share", cfg.AttackerShare),
+		obs.Ffloat("isolated_share", cfg.IsolatedShare),
+		obs.Fint("fork_base_height", int64(forkBase.Height)))
 
 	// Honest network mines at its reduced share.
 	sim.SetHonestShare(res.HonestShare)
@@ -103,7 +110,12 @@ func ExecuteMajority51(sim *netsim.Simulation, cfg MajorityConfig) (*MajorityRes
 	publicTip := sim.Network.Nodes[gateway].Tree.Tip()
 	publicLead := publicTip.Height - forkBase.Height
 	res.AttackerWins = res.AttackerBlocks > publicLead
+	reg.Counter("attack.counterfeit_blocks").Add(uint64(res.AttackerBlocks))
 	if !res.AttackerWins {
+		trace.Emit(int64(sim.Engine.Now()), "attack", "majority_end",
+			obs.Fbool("attacker_wins", false),
+			obs.Fint("attacker_blocks", int64(res.AttackerBlocks)),
+			obs.Fint("honest_blocks", int64(res.HonestBlocks)))
 		sim.SetHonestShare(1)
 		return res, nil
 	}
@@ -123,6 +135,12 @@ func ExecuteMajority51(sim *netsim.Simulation, cfg MajorityConfig) (*MajorityRes
 			res.AdoptedBy++
 		}
 	}
+	reg.Counter("attack.victims_captured").Add(uint64(res.AdoptedBy))
+	trace.Emit(int64(sim.Engine.Now()), "attack", "majority_end",
+		obs.Fbool("attacker_wins", true),
+		obs.Fint("reorg_depth", int64(res.ReorgDepth)),
+		obs.Fint("adopted_by", int64(res.AdoptedBy)))
+	sim.ObserveSync()
 	sim.SetHonestShare(1)
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/topology"
 )
@@ -184,6 +185,9 @@ func ExecuteSpatioTemporal(sim *netsim.Simulation, cfg TemporalConfig, spatial, 
 	}
 
 	refBefore := sim.Network.RefHeight()
+	sim.Obs().Tracer().Emit(int64(sim.Engine.Now()), "attack", "spatiotemporal_start",
+		obs.Fint("spatial", int64(len(spatial))),
+		obs.Fint("temporal", int64(len(temporal))))
 
 	// The temporal executor installs a victim/non-victim policy; wrap it so
 	// spatially cut nodes are silenced in both directions as well.
@@ -221,5 +225,9 @@ func ExecuteSpatioTemporal(sim *netsim.Simulation, cfg TemporalConfig, spatial, 
 		}
 	}
 	sim.Run(sim.Engine.Now() + cfg.HealFor)
+	sim.Obs().Registry().Counter("attack.victims_captured").Add(uint64(res.SpatialIsolated))
+	sim.Obs().Tracer().Emit(int64(sim.Engine.Now()), "attack", "spatiotemporal_end",
+		obs.Fint("spatial_isolated", int64(res.SpatialIsolated)),
+		obs.Fint("temporal_captured", int64(res.Temporal.CapturedAtRelease)))
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/blockchain"
 	"repro/internal/mining"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/stats"
 )
@@ -158,6 +159,8 @@ func ExecuteTemporalOn(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p
 
 func executeOnVictims(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p.NodeID) (*TemporalResult, error) {
 	cfg = cfg.withDefaults()
+	reg := sim.Obs().Registry()
+	trace := sim.Obs().Tracer()
 	res := &TemporalResult{Victims: victims}
 	isVictim := make(map[p2p.NodeID]bool, len(victims))
 	for _, v := range victims {
@@ -203,6 +206,10 @@ func executeOnVictims(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p.
 	if !ok {
 		return nil, fmt.Errorf("attack: origin lacks block at height %d", minHeight)
 	}
+	trace.Emit(int64(sim.Engine.Now()), "attack", "temporal_start",
+		obs.Fint("victims", int64(len(victims))),
+		obs.Fint("fork_base_height", int64(minHeight)),
+		obs.Ffloat("attacker_share", cfg.AttackerShare))
 
 	// The attacker connects to each victim after an exponential delay with
 	// rate ConnectRate (the Eq. 1 model behind Table VI).
@@ -240,6 +247,9 @@ func executeOnVictims(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p.
 			}
 			parent = b
 			res.CounterfeitBlocks++
+			reg.Counter("attack.counterfeit_blocks").Inc()
+			trace.Emit(int64(now), "attack", "counterfeit_block",
+				obs.Fint("height", int64(b.Height)))
 			for _, v := range victims {
 				feedDelay := time.Duration(0)
 				if connectedAt[v] > now {
@@ -272,6 +282,14 @@ func executeOnVictims(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p.
 		}
 	}
 	res.HonestBlocksDuringHold = sim.BlocksProduced() - honestBlocksBase
+	reg.Counter("attack.victims_captured").Add(uint64(res.CapturedAtRelease))
+	reg.Gauge("attack.max_fork_depth").Set(float64(res.MaxForkDepth))
+	trace.Emit(int64(sim.Engine.Now()), "attack", "temporal_release",
+		obs.Fint("captured", int64(res.CapturedAtRelease)),
+		obs.Fint("max_fork_depth", int64(res.MaxForkDepth)),
+		obs.Fint("counterfeit_blocks", int64(res.CounterfeitBlocks)),
+		obs.Fint("honest_blocks", int64(res.HonestBlocksDuringHold)))
+	sim.ObserveSync()
 
 	// Double-spend accounting at release: how deep the merchant saw the
 	// payment confirm.
@@ -308,6 +326,12 @@ func executeOnVictims(sim *netsim.Simulation, cfg TemporalConfig, victims []p2p.
 		b, ok := merchant.Tree.AtHeight(paymentHeight)
 		res.PaymentReversed = !ok || b.Hash != paymentBlock
 	}
+	reg.Counter("attack.reversed_txs").Add(uint64(res.ReversedTxs))
+	trace.Emit(int64(sim.Engine.Now()), "attack", "temporal_end",
+		obs.Fint("recovered", int64(res.RecoveredAfterHeal)),
+		obs.Fint("reversed_txs", int64(res.ReversedTxs)),
+		obs.Fbool("payment_reversed", res.PaymentReversed))
+	sim.ObserveSync()
 	return res, nil
 }
 

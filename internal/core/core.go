@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 )
 
 // Options tune the expensive experiments. The zero value reproduces the
@@ -36,6 +37,10 @@ type Options struct {
 	// RunAll). 0 means one worker per CPU; 1 forces sequential execution.
 	// Every experiment's output is bit-identical for any worker count.
 	Workers int
+	// Obs attaches the observability layer (DESIGN.md §9) to every
+	// simulation the study builds. Nil — the default — disables
+	// instrumentation; experiment output is byte-identical either way.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -72,9 +77,73 @@ type Study struct {
 	seed int64
 }
 
+// Option configures a Study at construction time (see New).
+type Option func(*Options)
+
+// WithFull selects the paper's experiment windows and scales (minutes of
+// CPU rather than seconds) — the functional-options form of Full().
+func WithFull() Option {
+	return func(o *Options) {
+		full := Full()
+		o.TableVTraceDays = full.TableVTraceDays
+		o.Figure6aDays = full.Figure6aDays
+		o.GridSize = full.GridSize
+		o.NetworkNodes = full.NetworkNodes
+	}
+}
+
+// WithWorkers bounds the study's intra-experiment fan-out (0 = one worker
+// per CPU, 1 = sequential). Output is bit-identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithObserver attaches the observability layer to every simulation the
+// study builds. Snapshot() reads back its metrics.
+func WithObserver(observer *obs.Observer) Option {
+	return func(o *Options) { o.Obs = observer }
+}
+
+// WithWindows overrides the Table V trace length and the Figure 6a trend
+// window, both in days (0 keeps the respective default).
+func WithWindows(tableVTraceDays, figure6aDays int) Option {
+	return func(o *Options) {
+		o.TableVTraceDays = tableVTraceDays
+		o.Figure6aDays = figure6aDays
+	}
+}
+
+// WithGridSize overrides the Figure 7 lattice side.
+func WithGridSize(n int) Option {
+	return func(o *Options) { o.GridSize = n }
+}
+
+// WithNetworkNodes overrides the live-simulation population size used by
+// the attack demos.
+func WithNetworkNodes(n int) Option {
+	return func(o *Options) { o.NetworkNodes = n }
+}
+
+// New generates (or reuses, per seed) the synthetic population and wraps
+// it in a Study configured by the given options:
+//
+//	study, err := core.New(1, core.WithFull(), core.WithWorkers(8))
+//
+// It replaces NewStudy and NewStudyWithOptions, which survive as thin
+// deprecated wrappers.
+func New(seed int64, opts ...Option) (*Study, error) {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return newStudy(seed, o)
+}
+
 // NewStudy generates the population for a seed with default options.
+//
+// Deprecated: use New(seed).
 func NewStudy(seed int64) (*Study, error) {
-	return NewStudyWithOptions(seed, Options{})
+	return newStudy(seed, Options{})
 }
 
 // populations memoizes the synthetic population per generation seed. The
@@ -99,7 +168,13 @@ func generatePopulation(seed int64) (*dataset.Population, error) {
 
 // NewStudyWithOptions generates the population with explicit options,
 // reusing a cached population when one was already built for the seed.
+//
+// Deprecated: use New(seed, opts...) with functional options.
 func NewStudyWithOptions(seed int64, opts Options) (*Study, error) {
+	return newStudy(seed, opts)
+}
+
+func newStudy(seed int64, opts Options) (*Study, error) {
 	pop, err := generatePopulation(seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -109,6 +184,17 @@ func NewStudyWithOptions(seed int64, opts Options) (*Study, error) {
 
 // Seed returns the study's generation seed.
 func (s *Study) Seed() int64 { return s.seed }
+
+// Observer returns the study's attached observability layer (nil when
+// observability is off).
+func (s *Study) Observer() *obs.Observer { return s.Opts.Obs }
+
+// Snapshot returns a sorted point-in-time copy of the study's metrics.
+// Without an attached observer it is empty — cmd/benchjson consumes this
+// to record instrumentation overhead in BENCH_obs.json.
+func (s *Study) Snapshot() obs.Snapshot {
+	return s.Opts.Obs.Registry().Snapshot()
+}
 
 // Pools returns the Table IV mining roster.
 func (s *Study) Pools() []mining.Pool {

@@ -14,12 +14,11 @@ var sharedStudy *Study
 func testStudy(t *testing.T) *Study {
 	t.Helper()
 	if sharedStudy == nil {
-		s, err := NewStudyWithOptions(1, Options{
-			TableVTraceDays: 1,
-			Figure6aDays:    1,
-			GridSize:        25,
-			NetworkNodes:    120,
-		})
+		s, err := New(1,
+			WithWindows(1, 1),
+			WithGridSize(25),
+			WithNetworkNodes(120),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}

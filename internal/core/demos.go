@@ -56,6 +56,7 @@ func (s *Study) NewSimFromPopulationBias(n int, seed int64, sameASBias float64) 
 		Nodes: n,
 		Seed:  seed,
 		Pools: dataset.TableIV(),
+		Obs:   s.Opts.Obs,
 		Gossip: p2p.Config{
 			FailureRate:    0.10,
 			MeanRelayDelay: 2 * time.Second,

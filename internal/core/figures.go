@@ -254,6 +254,7 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 			BoundaryRadius: 5,
 			BoundaryUntil:  200,
 			Seed:           s.seed + offset,
+			Obs:            s.Opts.Obs,
 		})
 		if err != nil {
 			return nil, err

@@ -8,13 +8,12 @@ import (
 
 func workerStudy(t *testing.T, workers int) *Study {
 	t.Helper()
-	s, err := NewStudyWithOptions(1, Options{
-		TableVTraceDays: 1,
-		Figure6aDays:    1,
-		GridSize:        25,
-		NetworkNodes:    120,
-		Workers:         workers,
-	})
+	s, err := New(1,
+		WithWindows(1, 1),
+		WithGridSize(25),
+		WithNetworkNodes(120),
+		WithWorkers(workers),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,23 +21,55 @@ func workerStudy(t *testing.T, workers int) *Study {
 }
 
 func TestPopulationMemoized(t *testing.T) {
-	a, err := NewStudy(1)
+	a, err := New(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewStudy(1)
+	b, err := New(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Pop != b.Pop {
 		t.Error("same seed built two populations")
 	}
-	c, err := NewStudy(2)
+	c, err := New(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Pop == a.Pop {
 		t.Error("different seeds share a population")
+	}
+}
+
+// TestRunAllSurfacesExperimentError pins the bugfix for silently partial
+// sweeps: when one experiment fails (here Figure 6a, via an invalid trend
+// window), RunAll and Figure6All must return a nil result set and the
+// named error — not a slice with zero-valued rows in the failed slots.
+func TestRunAllSurfacesExperimentError(t *testing.T) {
+	s, err := New(1,
+		WithWindows(1, -1), // Figure6aDays < 0: the figure6a trace fails
+		WithGridSize(25),
+		WithNetworkNodes(120),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := s.RunAll(0)
+	if err == nil {
+		t.Fatal("RunAll succeeded with an invalid Figure 6a window")
+	}
+	if !strings.Contains(err.Error(), "figure6a") {
+		t.Errorf("error %q does not name the failing experiment", err)
+	}
+	if outputs != nil {
+		t.Errorf("RunAll leaked %d partial outputs alongside the error", len(outputs))
+	}
+	panels, err := s.Figure6All()
+	if err == nil {
+		t.Fatal("Figure6All succeeded with an invalid Figure 6a window")
+	}
+	if panels != nil {
+		t.Errorf("Figure6All leaked %d partial panels alongside the error", len(panels))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/blockchain"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	BoundaryFrom, BoundaryUntil int
 	// Seed fixes the run.
 	Seed int64
+	// Obs attaches the observability layer (fork births/deaths, cell
+	// flips, block events; trace ticks are grid steps). Nil — the default
+	// — disables instrumentation with byte-identical output.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +182,19 @@ type Grid struct {
 	// gossip hot loop walks contiguous memory.
 	nbrs   []int
 	nbrOff []int32
+
+	// Observability (DESIGN.md §9). obsOn gates fork-population tracking
+	// so the uninstrumented hot loop pays a single bool check per
+	// adoption; forkPop counts followers per fork and is maintained only
+	// while obsOn, to notice fork deaths.
+	obsOn          bool
+	forkPop        []int
+	obsTrace       *obs.Tracer
+	obsFlips       *obs.Counter
+	obsForkBirths  *obs.Counter
+	obsForkDeaths  *obs.Counter
+	obsHonestBlk   *obs.Counter
+	obsAttackerBlk *obs.Counter
 }
 
 // New builds a grid simulation. All cells start on fork A at height 0 with
@@ -210,7 +228,54 @@ func New(cfg Config) (*Grid, error) {
 		g.nbrs = g.appendNeighbors(g.nbrs, i)
 	}
 	g.nbrOff[n] = int32(len(g.nbrs))
+	if o := cfg.Obs; o != nil && (o.Registry() != nil || o.Tracer() != nil) {
+		g.obsOn = true
+		g.forkPop = []int{n} // every cell starts on fork A
+		reg := o.Registry()
+		g.obsTrace = o.Tracer()
+		g.obsFlips = reg.Counter("gridsim.cell_flips")
+		g.obsForkBirths = reg.Counter("gridsim.fork_births")
+		g.obsForkDeaths = reg.Counter("gridsim.fork_deaths")
+		g.obsHonestBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "honest"))
+		g.obsAttackerBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "attacker"))
+	}
 	return g, nil
+}
+
+// trackFlip maintains the fork-population ledger while observability is
+// on: a cell moved from one fork to another, which may kill the old fork.
+// Callers gate on g.obsOn.
+func (g *Grid) trackFlip(from, to ForkID) {
+	g.obsFlips.Inc()
+	for int(to) >= len(g.forkPop) {
+		g.forkPop = append(g.forkPop, 0)
+	}
+	g.forkPop[from]--
+	g.forkPop[to]++
+	if g.forkPop[from] == 0 {
+		g.obsForkDeaths.Inc()
+		g.obsTrace.Emit(int64(g.step), "gridsim", "fork_death",
+			obs.F("fork", from.String()))
+	}
+}
+
+// trackBirth records a freshly created branch. Callers gate on g.obsOn.
+func (g *Grid) trackBirth(f *forkInfo) {
+	g.obsForkBirths.Inc()
+	g.obsTrace.Emit(int64(g.step), "gridsim", "fork_birth",
+		obs.F("fork", f.id.String()),
+		obs.F("parent", f.parent.String()),
+		obs.Fint("base_height", int64(f.baseHeight)),
+		obs.Fbool("counterfeit", f.counterfeit))
+}
+
+// adopt copies src's chain view into dst, tracking the fork flip when
+// observability is on. It is the single adoption point of the gossip loop.
+func (g *Grid) adopt(dst, src *cell) {
+	if g.obsOn && dst.fork != src.fork {
+		g.trackFlip(dst.fork, src.fork)
+	}
+	*dst = *src
 }
 
 // StepsPerBlock returns the number of communication steps per block
@@ -288,22 +353,22 @@ func (g *Grid) communicate() {
 		if i == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(a.fork) {
 			// Attacker only pushes, never pulls.
 			if a.height > b.height {
-				*b = *a
+				g.adopt(b, a)
 			}
 			continue
 		}
 		if j == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(b.fork) {
 			if b.height > a.height {
-				*a = *b
+				g.adopt(a, b)
 			}
 			continue
 		}
 		// Symmetric exchange: the lower-height side adopts the higher.
 		switch {
 		case a.height > b.height:
-			*b = *a
+			g.adopt(b, a)
 		case b.height > a.height:
-			*a = *b
+			g.adopt(a, b)
 		}
 	}
 }
@@ -314,9 +379,11 @@ func (g *Grid) forkOf(id ForkID) *forkInfo { return g.forks[int(id)] }
 func (g *Grid) mineBlock() {
 	g.blocksMined++
 	if g.cfg.AttackerShare > 0 && stats.Bernoulli(g.rng, g.cfg.AttackerShare) {
+		g.obsAttackerBlk.Inc()
 		g.mineAttacker()
 		return
 	}
+	g.obsHonestBlk.Inc()
 	g.mineHonest()
 }
 
@@ -337,6 +404,9 @@ func (g *Grid) mineHonest() {
 		f := g.tallestHonestFork()
 		f.tipHeight++
 		f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 0, 0, nil, false)
+		if g.obsOn && c.fork != f.id {
+			g.trackFlip(c.fork, f.id)
+		}
 		c.fork = f.id
 		c.height = f.tipHeight
 		c.link = f.tipLink
@@ -360,6 +430,10 @@ func (g *Grid) mineHonest() {
 	}
 	g.forks = append(g.forks, nf)
 	g.forksEmerged++
+	if g.obsOn {
+		g.trackBirth(nf)
+		g.trackFlip(c.fork, nf.id)
+	}
 	c.fork = nf.id
 	c.height = nf.tipHeight
 	c.link = nf.tipLink
@@ -426,6 +500,10 @@ func (g *Grid) mineAttacker() {
 		}
 		g.forks = append(g.forks, nf)
 		g.forksEmerged++
+		if g.obsOn {
+			g.trackBirth(nf)
+			g.trackFlip(c.fork, nf.id)
+		}
 		c.fork = nf.id
 		c.height = nf.tipHeight
 		c.link = nf.tipLink

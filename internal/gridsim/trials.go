@@ -3,6 +3,7 @@ package gridsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -81,10 +82,26 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 	if err := cfg.withDefaults().Validate(); err != nil {
 		return nil, err
 	}
+	// With an attached registry, each replicate records into its own
+	// metrics-only observer (slot-indexed, so workers never share one);
+	// the per-trial registries are merged back in trial order below,
+	// keeping the ensemble's metrics identical for any worker count.
+	ensembleReg := cfg.Obs.Registry()
+	var trialRegs []*obs.Registry
+	if ensembleReg != nil {
+		trialRegs = make([]*obs.Registry, tc.Trials)
+	}
 	trials, err := parallel.Trials(tc.Workers, cfg.Seed, tc.Trials,
 		func(trial int, seed int64) (Trial, error) {
 			runCfg := cfg
 			runCfg.Seed = seed
+			if trialRegs != nil {
+				o := obs.NewMetricsOnly()
+				trialRegs[trial] = o.Metrics
+				runCfg.Obs = o
+			} else {
+				runCfg.Obs = nil
+			}
 			g, err := New(runCfg)
 			if err != nil {
 				return Trial{}, fmt.Errorf("trial %d: %w", trial, err)
@@ -99,6 +116,9 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+	for _, reg := range trialRegs {
+		ensembleReg.Merge(reg)
 	}
 	res := &TrialsResult{Config: cfg, Blocks: tc.Blocks, Trials: trials}
 	n := cfg.withDefaults().Size

@@ -1,0 +1,140 @@
+package integration
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// renderAll reproduces `partition experiment all -seed 1` byte for byte:
+// each experiment's text followed by a blank line, in presentation order.
+func renderAll(t *testing.T, workers int, observer *obs.Observer) []byte {
+	t.Helper()
+	opts := []core.Option{core.WithWorkers(workers)}
+	if observer != nil {
+		opts = append(opts, core.WithObserver(observer))
+	}
+	study, err := core.New(1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs, err := study.RunAll(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, out := range outputs {
+		buf.WriteString(out.Text)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestExperimentAllGolden pins the full seed-1 evaluation to the checked-in
+// golden: byte-identical with observability off at workers 1 and 8, and
+// still byte-identical with a full observer attached — instrumentation must
+// never perturb experiment output (DESIGN.md §9).
+func TestExperimentAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation × 3 configurations")
+	}
+	want, err := os.ReadFile("testdata/experiment_all_seed1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		workers  int
+		observer *obs.Observer
+	}{
+		{"workers1", 1, nil},
+		{"workers8", 8, nil},
+		{"workers8_observed", 8, obs.New(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := renderAll(t, tc.workers, tc.observer)
+			if !bytes.Equal(got, want) {
+				t.Errorf("output diverged from golden (%d bytes vs %d)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// planEnv builds the plan context the CLI builds, at a reduced network
+// scale so the seven-plan sweep stays fast.
+func planEnv(t *testing.T, seed int64, observer *obs.Observer) attack.Env {
+	t.Helper()
+	study, err := core.New(seed,
+		core.WithNetworkNodes(80),
+		core.WithObserver(observer),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attack.Env{
+		Pop:          study.Pop,
+		NetworkNodes: study.Opts.NetworkNodes,
+		Seed:         study.Seed(),
+		Obs:          study.Observer(),
+		NewSim:       study.NewSimFromPopulation,
+	}
+}
+
+// TestTraceDeterministicAndReplaysSummaries runs every registered attack
+// plan twice with tracing on and asserts (a) the two JSONL exports are
+// byte-identical, and (b) decoding a trace and replaying it reproduces each
+// plan's Summary() exactly — the ISSUE's replayability contract.
+func TestTraceDeterministicAndReplaysSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all seven attack scenarios twice")
+	}
+	run := func() (map[string]string, []byte) {
+		observer := obs.New(0)
+		env := planEnv(t, 1, observer)
+		summaries := map[string]string{}
+		for _, plan := range attack.Plans(env) {
+			res, err := plan.Run(nil, observer.Registry())
+			if err != nil {
+				t.Fatalf("%s: %v", plan.Name(), err)
+			}
+			if res.Summary() == "" {
+				t.Fatalf("%s: empty summary", plan.Name())
+			}
+			if res.Metrics().Empty() {
+				t.Errorf("%s: no headline metrics", plan.Name())
+			}
+			summaries[plan.Name()] = res.Summary()
+		}
+		var buf bytes.Buffer
+		if err := observer.Tracer().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return summaries, buf.Bytes()
+	}
+
+	summaries, jsonl := run()
+	if len(summaries) != len(attack.PlanNames()) {
+		t.Fatalf("ran %d plans, registry has %d", len(summaries), len(attack.PlanNames()))
+	}
+	_, jsonl2 := run()
+	if !bytes.Equal(jsonl, jsonl2) {
+		t.Error("two same-seed trace exports differ")
+	}
+
+	log, err := obs.DecodeJSONL(bytes.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := attack.ReplaySummaries(log)
+	for name, want := range summaries {
+		if got, ok := replayed[name]; !ok {
+			t.Errorf("%s: summary missing from trace", name)
+		} else if got != want {
+			t.Errorf("%s: replayed summary diverged:\n--- live ---\n%s--- replay ---\n%s", name, want, got)
+		}
+	}
+}

@@ -90,7 +90,7 @@ func TestSpatialPipeline(t *testing.T) {
 // captures them; SPV clients inherit the counterfeit view; BlockAware-less
 // healing recovers everyone; the crawl log round-trips through JSONL.
 func TestTemporalPipeline(t *testing.T) {
-	study, err := core.NewStudyWithOptions(103, core.Options{NetworkNodes: 100})
+	study, err := core.New(103, core.WithNetworkNodes(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestTemporalPipeline(t *testing.T) {
 
 // TestSpatioTemporalPipeline: trace → moment → plan → combined execution.
 func TestSpatioTemporalPipeline(t *testing.T) {
-	study, err := core.NewStudyWithOptions(107, core.Options{NetworkNodes: 90})
+	study, err := core.New(107, core.WithNetworkNodes(90))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestSpatioTemporalPipeline(t *testing.T) {
 // TestLogicalPipeline: version census → CVE join → crash exploit →
 // network impact on a live simulation carrying real version profiles.
 func TestLogicalPipeline(t *testing.T) {
-	study, err := core.NewStudyWithOptions(109, core.Options{NetworkNodes: 120})
+	study, err := core.New(109, core.WithNetworkNodes(120))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,8 +8,9 @@ import (
 )
 
 // TestNoGoroutine covers go statements and raw WaitGroup fan-out outside
-// internal/parallel, and the worker pool itself passing clean.
+// internal/parallel — including in the observability layer, which is
+// lock-or-atomic only — and the worker pool itself passing clean.
 func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, "../testdata", nogoroutine.Analyzer,
-		"nogoroutine", "internal/parallel")
+		"nogoroutine", "internal/obs", "internal/parallel")
 }

@@ -1,0 +1,25 @@
+// Positive cases: internal/obs gets no concurrency exemption. The
+// observability layer is lock-or-atomic only; a raw goroutine or
+// hand-rolled WaitGroup fan-out there would reintroduce the
+// scheduling-order dependence that makes merged registries and event
+// streams nondeterministic.
+package obs
+
+import "sync"
+
+type registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+}
+
+func (r *registry) flushAll(keys []string, flush func(string)) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(keys))
+	for _, k := range keys {
+		go func(k string) { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			flush(k)
+		}(k)
+	}
+	wg.Wait()
+}

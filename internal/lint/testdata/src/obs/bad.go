@@ -1,0 +1,24 @@
+// Positive cases for the observability layer: "obs" is a simulated-time
+// leaf name, because trace timestamps must be simulation ticks — a
+// wall-clock read here would leak host time into traces that are required
+// to be byte-identical across runs.
+package obs
+
+import "time"
+
+// Event is a stand-in for the tracer's event record.
+type Event struct {
+	Tick int64
+}
+
+func stamp() Event {
+	return Event{Tick: time.Now().UnixNano()} // want `time.Now in simulation package "obs"`
+}
+
+func flushAfter(started time.Time) bool {
+	return time.Since(started) > time.Second // want `time.Since in simulation package "obs"`
+}
+
+// tick-based stamping is the sanctioned form: the caller supplies the
+// simulation tick and no host clock is involved.
+func stampAt(tick int64) Event { return Event{Tick: tick} }

@@ -4,8 +4,11 @@
 // simulation path makes measured durations depend on host speed and
 // scheduling, which is precisely the nondeterminism a measurement
 // reproduction cannot afford. The check applies to non-test files of the
-// simulation packages (attack, gridsim, netsim, sim, p2p, core); tooling
-// such as cmd/* may read the clock freely.
+// simulation packages (attack, gridsim, netsim, sim, p2p, core, obs);
+// tooling such as cmd/* may read the clock freely. The observability layer
+// (internal/obs) is covered because its whole contract is that event
+// timestamps are simulation ticks — a wall-clock read there would leak
+// host time into traces that must be byte-identical across runs.
 package wallclock
 
 import (
@@ -30,6 +33,7 @@ var simPackages = map[string]bool{
 	"attack":  true,
 	"gridsim": true,
 	"netsim":  true,
+	"obs":     true,
 	"sim":     true,
 	"p2p":     true,
 	"core":    true,

@@ -7,8 +7,9 @@ import (
 	"repro/internal/lint/wallclock"
 )
 
-// TestWallClock covers clock reads inside a simulation package and the
+// TestWallClock covers clock reads inside a simulation package, the
+// observability layer (trace timestamps must be simulation ticks), and the
 // tooling-package exemption.
 func TestWallClock(t *testing.T) {
-	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "tools")
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "obs", "tools")
 }

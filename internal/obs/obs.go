@@ -1,0 +1,63 @@
+// Package obs is the deterministic observability layer of the simulators:
+// a metrics registry (counters, gauges, fixed-bucket histograms keyed by
+// name + sorted labels, snapshotted in sorted order) and a sim-time event
+// tracer (a ring buffer of structured events stamped with a sequence number
+// and a simulation tick, exported as JSONL under a versioned schema).
+//
+// Determinism rules (DESIGN.md §9):
+//
+//   - Instrumentation never reads the wall clock. Event timestamps are
+//     simulation ticks supplied by the caller — Engine.Now() nanoseconds in
+//     the event-driven simulators, the step counter in gridsim.
+//   - Instrumentation never draws from a simulation RNG and never changes
+//     event scheduling, so an instrumented run produces byte-identical
+//     simulation output to an uninstrumented one.
+//   - Counter and histogram-bucket updates are atomic and commutative, so
+//     their totals are identical for any worker count. Gauges and the event
+//     stream are last-write/arrival ordered: they are deterministic in
+//     single-simulation runs (the CLI attack paths), which is where they
+//     are consumed.
+//   - Everything is nil-safe: a nil *Observer, *Registry, *Counter, *Gauge,
+//     *Histogram, or *Tracer is a no-op, so instrumented hot paths cost one
+//     nil check when observability is off (the default).
+package obs
+
+// Observer bundles the two halves of the layer. Simulator configs carry a
+// *Observer; a nil observer disables all instrumentation.
+type Observer struct {
+	// Metrics is the metrics registry (nil disables metrics).
+	Metrics *Registry
+	// Trace is the event tracer (nil disables tracing).
+	Trace *Tracer
+}
+
+// New returns an observer with a fresh registry and a tracer holding up to
+// traceCapacity events (<= 0 selects DefaultTraceCapacity).
+func New(traceCapacity int) *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer(traceCapacity)}
+}
+
+// NewMetricsOnly returns an observer that records metrics but no events —
+// the shape the parallel trial runners use, since per-trial registries
+// merge deterministically while event streams would interleave.
+func NewMetricsOnly() *Observer {
+	return &Observer{Metrics: NewRegistry()}
+}
+
+// Registry returns the metrics registry, nil when o is nil or metrics are
+// disabled.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Tracer returns the event tracer, nil when o is nil or tracing is
+// disabled.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/blockchain"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -60,6 +61,10 @@ type Config struct {
 	// paper's measurement that peers "are distributed, and can be
 	// associated with any AS".
 	SameASBias float64
+	// Obs attaches the observability layer (DESIGN.md §9). Nil — the
+	// default — disables all instrumentation; an instrumented run produces
+	// byte-identical simulation output to an uninstrumented one.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +135,44 @@ type Network struct {
 	// opened connections that an eclipse of the victim's original peers
 	// cannot intercept (BlockAware's recovery path).
 	bypass map[[2]NodeID]bool
+	obs    netObs
+}
+
+// netObs holds the network's pre-resolved instrument handles so the hot
+// path never touches the registry map: with observability off every field
+// is nil and each update is a single nil check (DESIGN.md §9).
+type netObs struct {
+	trace *obs.Tracer
+	// sent/deduped are indexed by MsgType (inv, getdata, block).
+	sent    [4]*obs.Counter
+	deduped [4]*obs.Counter
+	dropped *obs.Counter
+	blocked *obs.Counter
+	retries *obs.Counter
+	orphans *obs.Counter
+	accept  *obs.Counter
+	reorgs  *obs.Counter
+	revTxs  *obs.Counter
+}
+
+// initObs resolves the instrument handles once at construction.
+func (n *Network) initObs(o *obs.Observer) {
+	reg := o.Registry()
+	if reg == nil && o.Tracer() == nil {
+		return
+	}
+	n.obs.trace = o.Tracer()
+	for _, t := range []MsgType{MsgInv, MsgGetData, MsgBlock} {
+		n.obs.sent[t] = reg.Counter("p2p.msgs_sent", obs.L("type", t.String()))
+		n.obs.deduped[t] = reg.Counter("p2p.msgs_deduped", obs.L("type", t.String()))
+	}
+	n.obs.dropped = reg.Counter("p2p.msgs_dropped")
+	n.obs.blocked = reg.Counter("p2p.msgs_blocked")
+	n.obs.retries = reg.Counter("p2p.getdata_retries")
+	n.obs.orphans = reg.Counter("p2p.orphans_stashed")
+	n.obs.accept = reg.Counter("p2p.blocks_accepted")
+	n.obs.reorgs = reg.Counter("p2p.reorgs")
+	n.obs.revTxs = reg.Counter("p2p.reversed_txs")
 }
 
 // NewNetwork builds a network over the given nodes and wires a random
@@ -153,6 +196,7 @@ func NewNetwork(engine *sim.Engine, nodes []*Node, cfg Config, rng *rand.Rand) (
 		rng:    rng,
 		refTip: blockchain.Genesis(),
 	}
+	n.initObs(cfg.Obs)
 	n.connect()
 	return n, nil
 }
@@ -184,6 +228,7 @@ func NewNetworkWithGraph(engine *sim.Engine, nodes []*Node, cfg Config, rng *ran
 		rng:    rng,
 		refTip: blockchain.Genesis(),
 	}
+	n.initObs(cfg.Obs)
 	adjSet := make([]map[NodeID]bool, len(nodes))
 	for i := range adjSet {
 		adjSet[i] = map[NodeID]bool{}
@@ -283,7 +328,11 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 }
 
 // SetPolicy installs (or clears, with nil) the attacker link policy.
-func (n *Network) SetPolicy(p LinkPolicy) { n.policy = p }
+func (n *Network) SetPolicy(p LinkPolicy) {
+	n.obs.trace.Emit(int64(n.Engine.Now()), "p2p", "policy",
+		obs.Fbool("installed", p != nil))
+	n.policy = p
+}
 
 // AddBypassLink opens a policy-exempt connection between two nodes (both
 // directions). It models a fresh outbound connection that the attacker's
@@ -328,12 +377,15 @@ func (n *Network) hopDelay() time.Duration {
 // random failure model.
 func (n *Network) send(m Message) {
 	n.msgStats.Sent++
+	n.obs.sent[m.Type].Inc()
 	if n.policy != nil && !n.bypass[[2]NodeID{m.From, m.To}] && !n.policy(m.From, m.To, n.Engine.Now()) {
 		n.msgStats.Blocked++
+		n.obs.blocked.Inc()
 		return
 	}
 	if stats.Bernoulli(n.rng, n.cfg.FailureRate) {
 		n.msgStats.Dropped++
+		n.obs.dropped.Inc()
 		return
 	}
 	delay := n.hopDelay()
@@ -353,6 +405,7 @@ func (n *Network) deliver(m Message, now time.Duration) {
 	switch m.Type {
 	case MsgInv:
 		if to.Tree.Has(m.Hash) || to.MarkRequested(m.Hash, now, n.cfg.RequestTimeout) {
+			n.obs.deduped[MsgInv].Inc()
 			return
 		}
 		n.requestBlock(m.To, m.From, m.Hash, 0)
@@ -377,6 +430,7 @@ func (n *Network) handleBlock(id, from NodeID, b *blockchain.Block, now time.Dur
 	}
 	if !node.Tree.Has(b.Parent) {
 		node.AddOrphan(b.Parent, b)
+		n.obs.orphans.Inc()
 		// Walk back through already-stashed orphans to the deepest missing
 		// ancestor, so that each recovery attempt extends earlier progress
 		// instead of re-fetching the whole gap (with lossy links a long
@@ -413,6 +467,9 @@ const maxRequestRetries = 5
 // message would strand a node one block behind until the next block's
 // arrival happened to heal it — and forever, for the newest block.
 func (n *Network) requestBlock(to, provider NodeID, h blockchain.Hash, attempt int) {
+	if attempt > 0 {
+		n.obs.retries.Inc()
+	}
 	n.send(Message{Type: MsgGetData, From: to, To: provider, Hash: h})
 	if attempt >= maxRequestRetries {
 		return
@@ -439,9 +496,21 @@ func (n *Network) attachAndRelay(id NodeID, b *blockchain.Block, now time.Durati
 	for len(pending) > 0 {
 		next := pending[0]
 		pending = pending[1:]
+		reorgsBefore, reversedBefore := node.ReorgCount, node.ReversedTxs
 		isNew, err := node.AcceptBlock(next, now)
 		if err != nil || !isNew {
 			continue
+		}
+		n.obs.accept.Inc()
+		if d := node.ReorgCount - reorgsBefore; d > 0 {
+			reversed := node.ReversedTxs - reversedBefore
+			n.obs.reorgs.Add(uint64(d))
+			n.obs.revTxs.Add(uint64(reversed))
+			n.obs.trace.Emit(int64(now), "p2p", "reorg",
+				obs.Fint("node", int64(id)),
+				obs.Fint("height", int64(next.Height)),
+				obs.Fint("reversed_txs", int64(reversed)),
+				obs.Fbool("counterfeit", next.Counterfeit))
 		}
 		for _, peer := range n.adj[id] {
 			n.send(Message{Type: MsgInv, From: id, To: peer, Hash: next.Hash})
@@ -463,6 +532,10 @@ func (n *Network) Publish(origin NodeID, b *blockchain.Block) error {
 	if b.Height > n.refTip.Height && !b.Counterfeit {
 		n.refTip = b
 	}
+	n.obs.trace.Emit(int64(n.Engine.Now()), "p2p", "block_published",
+		obs.Fint("origin", int64(origin)),
+		obs.Fint("height", int64(b.Height)),
+		obs.Fbool("counterfeit", b.Counterfeit))
 	n.attachAndRelay(origin, b, n.Engine.Now())
 	return nil
 }

@@ -50,8 +50,9 @@ func (e *PanicError) Error() string {
 // Map runs fn(0), fn(1), …, fn(n-1) across at most workers goroutines and
 // returns the n results in task order. workers <= 0 means DefaultWorkers().
 // A panicking task is converted to a *PanicError. If any task fails, Map
-// returns the error of the lowest-index failing task (alongside the results
-// of the tasks that succeeded, in place).
+// returns a nil slice with the error of the lowest-index failing task —
+// never a partial result set, so a failed sweep can't silently feed
+// zero-valued rows into a table or figure downstream.
 func Map[T any](workers, n int, fn func(task int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -98,7 +99,7 @@ func Map[T any](workers, n int, fn func(task int) (T, error)) ([]T, error) {
 	}
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return nil, err
 		}
 	}
 	return results, nil

@@ -71,6 +71,27 @@ func TestMapFirstErrorByTaskIndex(t *testing.T) {
 	}
 }
 
+// TestMapErrorReturnsNilResults pins the no-partial-results contract: a
+// failed sweep must not hand back the slots that happened to succeed, or a
+// caller that mishandles the error pair feeds zero-valued rows downstream
+// (the Figure6All / MaxVulnerableParallel regression).
+func TestMapErrorReturnsNilResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := Map(workers, 20, func(i int) (int, error) {
+			if i == 13 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i + 1, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if got != nil {
+			t.Errorf("workers=%d: partial results %v leaked alongside the error", workers, got)
+		}
+	}
+}
+
 func TestMapPanicCapture(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		_, err := Map(workers, 10, func(i int) (int, error) {
