@@ -308,7 +308,7 @@ func BenchmarkAblationSpreading(b *testing.B) {
 			b.ReportAllocs()
 			var reach time.Duration
 			for i := 0; i < b.N; i++ {
-				sim, err := netsim.New(netsim.Config{
+				sim, err := netsim.FromConfig(netsim.Config{
 					Nodes: 150, Seed: 7,
 					Gossip: p2p.Config{FailureRate: 1e-9, Spreading: mode.s},
 				})
@@ -380,7 +380,7 @@ func BenchmarkAblationPeerCount(b *testing.B) {
 			b.ReportAllocs()
 			var synced, msgs float64
 			for i := 0; i < b.N; i++ {
-				sim, err := netsim.New(netsim.Config{
+				sim, err := netsim.FromConfig(netsim.Config{
 					Nodes: 150, Seed: 11,
 					Gossip: p2p.Config{PeerCount: peers, FailureRate: 0.30},
 				})
@@ -433,7 +433,7 @@ func BenchmarkAblationBlockAware(b *testing.B) {
 			b.ReportAllocs()
 			var captured float64
 			for i := 0; i < b.N; i++ {
-				sim, err := netsim.New(netsim.Config{
+				sim, err := netsim.FromConfig(netsim.Config{
 					Nodes: 120, Seed: 17,
 					Gossip: p2p.Config{FailureRate: 0.10},
 				})

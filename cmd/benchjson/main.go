@@ -234,7 +234,7 @@ func runObs(w int, maxOverhead float64, out string) error {
 				if observed {
 					observer = obs.New(0)
 				}
-				sim, err := netsim.New(netsim.Config{
+				sim, err := netsim.FromConfig(netsim.Config{
 					Nodes: 150, Seed: 7, Obs: observer,
 					Gossip: p2p.Config{FailureRate: 0.10},
 				})

@@ -1,11 +1,14 @@
 // Command partition is the main CLI of the reproduction: it regenerates
 // every table and figure of the paper and runs the four partitioning
-// attacks plus their countermeasures on the simulated network.
+// attacks plus their countermeasures on the simulated network. Every verb
+// accepts -faults to run under a deterministic fault scenario (node churn,
+// link flaps/blackholes, message chaos — DESIGN.md §10), and `experiment
+// healstudy` sweeps all the presets over the partition-heal arc.
 //
 // Usage:
 //
-//	partition experiment <table1..table8|figure1..figure8|figure6a..figure6c|all> [-seed N] [-full]
-//	partition attack <spatial|temporal|spatiotemporal|logical|doublespend|majority51|cascade> [-seed N]
+//	partition experiment <table1..table8|figure1..figure8|figure6a..figure6c|healstudy|all> [-seed N] [-full] [-faults SCENARIO]
+//	partition attack <spatial|temporal|spatiotemporal|logical|doublespend|majority51|cascade> [-seed N] [-faults SCENARIO]
 //	partition defend <blockaware|stratum|routeguard> [-seed N]
 package main
 
@@ -20,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/topology"
 )
@@ -42,12 +46,20 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel fan-out bound (0 = one per CPU, 1 = sequential); output is identical either way")
 	tracePath := fs.String("trace", "", "record the sim-time event trace and write it as JSONL to this path")
 	metrics := fs.Bool("metrics", false, "print the deterministic metrics snapshot after the command output")
+	faultsName := fs.String("faults", "", "fault scenario every simulation runs under (stable, churny, flaky, hijack-recovery); empty = no faults")
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
 	}
 	opts := []core.Option{core.WithWorkers(*workers)}
 	if *full {
 		opts = append(opts, core.WithFull())
+	}
+	if *faultsName != "" {
+		scenario, err := faults.Preset(*faultsName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithFaults(scenario))
 	}
 	var observer *obs.Observer
 	switch {
@@ -127,11 +139,12 @@ func runExport(study *core.Study, name string) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full] [-workers N]\n" +
-		"  experiments: table1..table8, figure1..figure8 (figure6a/b/c), all\n" +
+	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full] [-workers N] [-faults SCENARIO]\n" +
+		"  experiments: table1..table8, figure1..figure8 (figure6a/b/c), healstudy, all\n" +
 		"  attacks:     spatial, temporal, spatiotemporal, logical, doublespend, majority51, cascade\n" +
 		"  defenses:    blockaware, stratum, routeguard, placement\n" +
-		"  exports:     figure3, figure4, figure6a/b/c, figure8, table5, table6 (CSV to stdout)")
+		"  exports:     figure3, figure4, figure6a/b/c, figure8, table5, table6 (CSV to stdout)\n" +
+		"  -faults runs every simulation under a fault scenario: " + strings.Join(faults.PresetNames(), ", "))
 }
 
 func runExperiment(study *core.Study, name string) error {
@@ -237,6 +250,15 @@ func runExperiment(study *core.Study, name string) error {
 			return err
 		}
 		fmt.Print(r.Render())
+	case "healstudy":
+		// The partition-heal study sweeps the fault presets itself, so it is
+		// not part of "all" (whose golden output must not move) and ignores
+		// the -faults flag.
+		r, err := study.HealStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -251,6 +273,7 @@ func runAttack(study *core.Study, name string) error {
 		NetworkNodes: study.Opts.NetworkNodes,
 		Seed:         study.Seed(),
 		Obs:          study.Observer(),
+		Faults:       study.Opts.Faults,
 		NewSim:       study.NewSimFromPopulation,
 	})
 	if err != nil {

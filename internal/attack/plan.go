@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 )
@@ -41,13 +42,17 @@ type Result interface {
 
 // Env carries the study-level context a plan needs to build its scenario:
 // the population, the live-simulation scale, the seed the per-attack
-// sub-seeds derive from, the observability sink, and a simulation factory
-// (core.Study.NewSimFromPopulation in the CLI).
+// sub-seeds derive from, the observability sink, the fault scenario every
+// built simulation runs under, and a simulation factory
+// (core.Study.NewSimFromPopulation in the CLI, which realizes Faults
+// itself; plans that assemble their own netsim.Config thread Faults into
+// it directly).
 type Env struct {
 	Pop          *dataset.Population
 	NetworkNodes int
 	Seed         int64
 	Obs          *obs.Observer
+	Faults       faults.Scenario
 	NewSim       func(n int, seed int64) (*netsim.Simulation, error)
 }
 

@@ -220,6 +220,7 @@ func (p *cascadePlan) Run(_ *netsim.Simulation, reg *obs.Registry) (Result, erro
 			Seed:         env.Seed + 7,
 			GatewayNodes: []p2p.NodeID{total - 1}, // honest blocks enter outside
 			Obs:          env.Obs,
+			Faults:       env.Faults,
 			Gossip:       p2p.Config{FailureRate: 0.10},
 		}, nodes, outbound)
 	}

@@ -12,7 +12,7 @@ import (
 // of the network slightly behind by using a lossy, slow gossip config.
 func warmSim(t *testing.T, nodes int, seed int64) *netsim.Simulation {
 	t.Helper()
-	sim, err := netsim.New(netsim.Config{
+	sim, err := netsim.FromConfig(netsim.Config{
 		Nodes: nodes,
 		Seed:  seed,
 		Gossip: p2p.Config{

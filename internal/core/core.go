@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/mining"
 	"repro/internal/obs"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	// simulation the study builds. Nil — the default — disables
 	// instrumentation; experiment output is byte-identical either way.
 	Obs *obs.Observer
+	// Faults selects the fault scenario (DESIGN.md §10) every simulation
+	// the study builds runs under — node churn, link faults, message
+	// chaos. The zero value — the default — injects nothing and keeps
+	// every experiment byte-identical to a faultless build.
+	Faults faults.Scenario
 }
 
 func (o Options) withDefaults() Options {
@@ -124,26 +130,24 @@ func WithNetworkNodes(n int) Option {
 	return func(o *Options) { o.NetworkNodes = n }
 }
 
+// WithFaults runs every simulation the study builds under the given fault
+// scenario (DESIGN.md §10):
+//
+//	study, err := core.New(1, core.WithFaults(faults.Churny()))
+func WithFaults(sc faults.Scenario) Option {
+	return func(o *Options) { o.Faults = sc }
+}
+
 // New generates (or reuses, per seed) the synthetic population and wraps
 // it in a Study configured by the given options:
 //
 //	study, err := core.New(1, core.WithFull(), core.WithWorkers(8))
-//
-// It replaces NewStudy and NewStudyWithOptions, which survive as thin
-// deprecated wrappers.
 func New(seed int64, opts ...Option) (*Study, error) {
 	var o Options
 	for _, apply := range opts {
 		apply(&o)
 	}
 	return newStudy(seed, o)
-}
-
-// NewStudy generates the population for a seed with default options.
-//
-// Deprecated: use New(seed).
-func NewStudy(seed int64) (*Study, error) {
-	return newStudy(seed, Options{})
 }
 
 // populations memoizes the synthetic population per generation seed. The
@@ -166,14 +170,8 @@ func generatePopulation(seed int64) (*dataset.Population, error) {
 	return e.pop, e.err
 }
 
-// NewStudyWithOptions generates the population with explicit options,
-// reusing a cached population when one was already built for the seed.
-//
-// Deprecated: use New(seed, opts...) with functional options.
-func NewStudyWithOptions(seed int64, opts Options) (*Study, error) {
-	return newStudy(seed, opts)
-}
-
+// newStudy wraps a (memoized) population in a Study, reusing a cached
+// population when one was already built for the seed.
 func newStudy(seed int64, opts Options) (*Study, error) {
 	pop, err := generatePopulation(seed)
 	if err != nil {

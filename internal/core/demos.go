@@ -53,10 +53,11 @@ func (s *Study) NewSimFromPopulationBias(n int, seed int64, sameASBias float64) 
 		nodes = append(nodes, node)
 	}
 	return netsim.NewWithNodes(netsim.Config{
-		Nodes: n,
-		Seed:  seed,
-		Pools: dataset.TableIV(),
-		Obs:   s.Opts.Obs,
+		Nodes:  n,
+		Seed:   seed,
+		Pools:  dataset.TableIV(),
+		Obs:    s.Opts.Obs,
+		Faults: s.Opts.Faults,
 		Gossip: p2p.Config{
 			FailureRate:    0.10,
 			MeanRelayDelay: 2 * time.Second,

@@ -255,6 +255,7 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 			BoundaryUntil:  200,
 			Seed:           s.seed + offset,
 			Obs:            s.Opts.Obs,
+			Faults:         s.Opts.Faults,
 		})
 		if err != nil {
 			return nil, err
@@ -285,6 +286,28 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 	res.ForksEmerged = g.ForksEmerged()
 	res.PeakCounterfeitPct = float64(peak) / float64(cells) * 100
 	return res, nil
+}
+
+// HealStudy runs the partition-heal fault sweep (DESIGN.md §10): the
+// Figure 7 attack arc — 30% attacker holding a radius-5 region open, then
+// healing at the horizon midpoint — re-run as a Monte-Carlo ensemble under
+// each fault preset (stable, churny, flaky, hijack-recovery). The
+// obs-backed columns come from per-trial metrics registries merged in
+// trial order, so the table is byte-identical at any worker count.
+func (s *Study) HealStudy() (*gridsim.HealStudyResult, error) {
+	return gridsim.RunHealStudy(gridsim.HealConfig{
+		Grid: gridsim.Config{
+			Size:           s.Opts.GridSize,
+			SpanRatio:      2.0,
+			FailureRate:    0.10,
+			AttackerShare:  0.30,
+			AttackerRow:    7,
+			AttackerCol:    7,
+			BoundaryRadius: 5,
+			Seed:           s.seed,
+		},
+		Workers: s.Opts.Workers,
+	})
 }
 
 // Render prints fork populations per panel plus the final fork map.

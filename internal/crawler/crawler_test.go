@@ -11,7 +11,7 @@ import (
 
 func testSim(t *testing.T) *netsim.Simulation {
 	t.Helper()
-	sim, err := netsim.New(netsim.Config{
+	sim, err := netsim.FromConfig(netsim.Config{
 		Nodes: 40, Seed: 3,
 		Gossip: p2p.Config{FailureRate: 0.05, MeanRelayDelay: 2 * time.Second},
 	})

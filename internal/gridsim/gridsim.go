@@ -17,9 +17,13 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/blockchain"
+	"repro/internal/faults"
+	"repro/internal/mining"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -73,6 +77,13 @@ type Config struct {
 	// flips, block events; trace ticks are grid steps). Nil — the default
 	// — disables instrumentation with byte-identical output.
 	Obs *obs.Observer
+	// Faults selects the fault scenario (DESIGN.md §10), realized by a
+	// step-driven faults.GridInjector: churned-out cells neither gossip
+	// nor mine, faulty links block exchanges, and chaos adds loss on top
+	// of FailureRate. The zero value — the default — injects nothing and
+	// leaves the run byte-identical to a faultless build. The attacker's
+	// anchor cell never churns.
+	Faults faults.Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +193,10 @@ type Grid struct {
 	// gossip hot loop walks contiguous memory.
 	nbrs   []int
 	nbrOff []int32
+	// faults is the step-driven injector, nil when Config.Faults is the
+	// zero value — every fault check in the hot loop is gated on this nil
+	// check so the faultless path is untouched.
+	faults *faults.GridInjector
 
 	// Observability (DESIGN.md §9). obsOn gates fork-population tracking
 	// so the uninstrumented hot loop pays a single bool check per
@@ -228,6 +243,22 @@ func New(cfg Config) (*Grid, error) {
 		g.nbrs = g.appendNeighbors(g.nbrs, i)
 	}
 	g.nbrOff[n] = int32(len(g.nbrs))
+	if cfg.Faults.Enabled() {
+		// Scenario durations are converted to steps through the paper's
+		// Tdelay = Tblock / (Rspan·√N), so one scenario means the same
+		// physical fault load here as in the event-driven simulator.
+		stepDur := mining.BlockInterval / time.Duration(g.stepsPerBlock)
+		exempt := -1
+		if cfg.AttackerShare > 0 {
+			exempt = g.idx(cfg.AttackerRow, cfg.AttackerCol)
+		}
+		injector, err := faults.NewGridInjector(cfg.Faults,
+			parallel.DeriveSeed(cfg.Seed, faultsSeedSalt), n, stepDur, exempt, cfg.Obs)
+		if err != nil {
+			return nil, fmt.Errorf("gridsim: %w", err)
+		}
+		g.faults = injector
+	}
 	if o := cfg.Obs; o != nil && (o.Registry() != nil || o.Tracer() != nil) {
 		g.obsOn = true
 		g.forkPop = []int{n} // every cell starts on fork A
@@ -315,13 +346,22 @@ func (g *Grid) appendNeighbors(out []int, i int) []int {
 	return out
 }
 
-// Advance runs n time steps. Each step: every cell makes one communication
-// attempt with a random neighbor (adopting the neighbor's chain if strictly
-// higher, longest-chain rule), and every stepsPerBlock steps one block is
-// mined by the attacker (probability AttackerShare) or the honest network.
+// faultsSeedSalt namespaces the fault-injection streams off the run seed
+// (the grid injector further namespaces its own families), so enabling a
+// scenario never perturbs any existing simulation draw.
+const faultsSeedSalt = 0xFA17
+
+// Advance runs n time steps. Each step: churned cells flip state (faults
+// on), every up cell makes one communication attempt with a random
+// neighbor (adopting the neighbor's chain if strictly higher, longest-chain
+// rule), and every stepsPerBlock steps one block is mined by the attacker
+// (probability AttackerShare) or the honest network.
 func (g *Grid) Advance(n int) {
 	for i := 0; i < n; i++ {
 		g.step++
+		if g.faults != nil {
+			g.faults.StepChurn(g.step)
+		}
 		g.communicate()
 		if g.stepsPerBlock > 0 && g.step%g.stepsPerBlock == 0 {
 			g.mineBlock()
@@ -334,6 +374,11 @@ func (g *Grid) communicate() {
 	attackerIdx := g.idx(g.cfg.AttackerRow, g.cfg.AttackerCol)
 	boundary := g.boundaryActive()
 	for i := range g.cells {
+		// A churned-out cell makes no communication attempt at all — its rng
+		// draws are skipped entirely, like a node that simply is not there.
+		if g.faults != nil && g.faults.Down(i) {
+			continue
+		}
 		if stats.Bernoulli(g.rng, g.cfg.FailureRate) {
 			continue
 		}
@@ -343,6 +388,13 @@ func (g *Grid) communicate() {
 		// active, gossip crossing it is blocked.
 		if boundary && g.inRegion(i) != g.inRegion(j) {
 			continue
+		}
+		// Fault injection: a down partner, a dead/flapping/one-way link, or
+		// chaos loss kills the exchange (DESIGN.md §10).
+		if g.faults != nil {
+			if g.faults.Down(j) || !g.faults.Allow(i, j, g.step) || g.faults.ChaosLoss() {
+				continue
+			}
 		}
 		a, b := &g.cells[i], &g.cells[j]
 		// Once the attacker's cell is on the counterfeit branch it never
@@ -452,6 +504,10 @@ func (g *Grid) pickHonestCell() int {
 			continue
 		}
 		if boundary && g.inRegion(i) {
+			continue
+		}
+		// Churned-out cells are not publishing anyone's blocks.
+		if g.faults != nil && g.faults.Down(i) {
 			continue
 		}
 		return i

@@ -23,6 +23,12 @@ type TrialsConfig struct {
 	// Blocks is the number of block intervals each replicate simulates.
 	// Default 40 (the span-ratio ablation's horizon).
 	Blocks int
+	// SettleSteps advances each replicate this many extra steps past the
+	// final block event before measuring, so end-of-run metrics are not
+	// dominated by the propagation of the very last block (the ablation
+	// benches sample half an interval past the last block the same way).
+	// Zero — the default — measures at the final block event exactly.
+	SettleSteps int
 	// Workers bounds concurrent replicates; <= 0 means one per CPU.
 	Workers int
 }
@@ -36,6 +42,9 @@ type Trial struct {
 	// CounterfeitCells is the number of cells on an attacker branch at the
 	// end of the run.
 	CounterfeitCells int
+	// StaleCells is the number of cells at least one block behind the
+	// global best height at the end of the run.
+	StaleCells int
 	// MaxHeight is the global best height at the end of the run.
 	MaxHeight int
 }
@@ -58,6 +67,10 @@ type TrialsResult struct {
 	// MeanCounterfeitShare is the mean fraction of cells left on an
 	// attacker branch, with its 95% CI half-width.
 	MeanCounterfeitShare, MeanCounterfeitShareCI float64
+	// MeanStaleShare is the mean fraction of cells at least one block
+	// behind the best height at the end of the run, with its 95% CI
+	// half-width.
+	MeanStaleShare, MeanStaleShareCI float64
 }
 
 func (tc TrialsConfig) withDefaults() TrialsConfig {
@@ -106,12 +119,14 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 			if err != nil {
 				return Trial{}, fmt.Errorf("trial %d: %w", trial, err)
 			}
-			g.Advance(g.StepsPerBlock() * tc.Blocks)
+			g.Advance(g.StepsPerBlock()*tc.Blocks + tc.SettleSteps)
+			snap := g.Snapshot()
 			return Trial{
 				Seed:             seed,
 				Forks:            g.ForksEmerged(),
 				CounterfeitCells: g.CounterfeitCells(),
-				MaxHeight:        g.Snapshot().MaxHeight,
+				StaleCells:       len(g.cells) - snap.Lag[0],
+				MaxHeight:        snap.MaxHeight,
 			}, nil
 		})
 	if err != nil {
@@ -126,13 +141,16 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 	forks := make([]float64, len(trials))
 	rates := make([]float64, len(trials))
 	shares := make([]float64, len(trials))
+	stale := make([]float64, len(trials))
 	for i, t := range trials {
 		forks[i] = float64(t.Forks)
 		rates[i] = float64(t.Forks) / float64(tc.Blocks)
 		shares[i] = float64(t.CounterfeitCells) / cells
+		stale[i] = float64(t.StaleCells) / cells
 	}
 	res.MeanForks, res.MeanForksCI = stats.MeanCI95(forks)
 	res.ForkRate, res.ForkRateCI = stats.MeanCI95(rates)
 	res.MeanCounterfeitShare, res.MeanCounterfeitShareCI = stats.MeanCI95(shares)
+	res.MeanStaleShare, res.MeanStaleShareCI = stats.MeanCI95(stale)
 	return res, nil
 }

@@ -2,22 +2,26 @@ package integration
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"testing"
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
 // renderAll reproduces `partition experiment all -seed 1` byte for byte:
 // each experiment's text followed by a blank line, in presentation order.
-func renderAll(t *testing.T, workers int, observer *obs.Observer) []byte {
+// Extra options (a fault scenario, say) are applied on top.
+func renderAll(t *testing.T, workers int, observer *obs.Observer, extra ...core.Option) []byte {
 	t.Helper()
 	opts := []core.Option{core.WithWorkers(workers)}
 	if observer != nil {
 		opts = append(opts, core.WithObserver(observer))
 	}
+	opts = append(opts, extra...)
 	study, err := core.New(1, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +68,53 @@ func TestExperimentAllGolden(t *testing.T) {
 	}
 }
 
+// TestExperimentAllChurnyGolden pins `experiment all -seed 1 -faults churny`
+// to its own golden at workers 1 and 8: fault injection is part of the
+// deterministic surface, so a faulted run must be byte-identical at any
+// worker count and stable release to release.
+func TestExperimentAllChurnyGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation × 2 configurations")
+	}
+	want, err := os.ReadFile("testdata/experiment_all_seed1_churny.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile("testdata/experiment_all_seed1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, base) {
+		t.Fatal("churny golden is identical to the faults-off golden; churn injected nothing")
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			got := renderAll(t, workers, nil, core.WithFaults(faults.Churny()))
+			if !bytes.Equal(got, want) {
+				t.Errorf("output diverged from churny golden (%d bytes vs %d)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestZeroScenarioIsNoOp proves the Scenario zero value injects nothing:
+// running the full evaluation with an explicit empty scenario must be
+// byte-identical to the faults-off golden. This is the guarantee that lets
+// Config.Faults live in every substrate config without moving old output.
+func TestZeroScenarioIsNoOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	want, err := os.ReadFile("testdata/experiment_all_seed1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderAll(t, 8, nil, core.WithFaults(faults.Scenario{}))
+	if !bytes.Equal(got, want) {
+		t.Errorf("zero-value Scenario perturbed output (%d bytes vs %d)", len(got), len(want))
+	}
+}
+
 // planEnv builds the plan context the CLI builds, at a reduced network
 // scale so the seven-plan sweep stays fast.
 func planEnv(t *testing.T, seed int64, observer *obs.Observer) attack.Env {
@@ -81,6 +132,57 @@ func planEnv(t *testing.T, seed int64, observer *obs.Observer) attack.Env {
 		Seed:         study.Seed(),
 		Obs:          study.Observer(),
 		NewSim:       study.NewSimFromPopulation,
+	}
+}
+
+// TestAttackPlansUnderChurny runs every registered attack plan under the
+// churny preset — the CLI's `-faults churny attack <name>` path — and checks
+// each still completes with a summary, twice with identical results. The
+// fault scenario reaches both factory-built sims (via the study options) and
+// self-assembling plans (via Env.Faults).
+func TestAttackPlansUnderChurny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all seven attack scenarios twice")
+	}
+	run := func() map[string]string {
+		study, err := core.New(1,
+			core.WithNetworkNodes(80),
+			core.WithFaults(faults.Churny()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := attack.Env{
+			Pop:          study.Pop,
+			NetworkNodes: study.Opts.NetworkNodes,
+			Seed:         study.Seed(),
+			Obs:          study.Observer(),
+			Faults:       study.Opts.Faults,
+			NewSim:       study.NewSimFromPopulation,
+		}
+		summaries := map[string]string{}
+		for _, plan := range attack.Plans(env) {
+			res, err := plan.Run(nil, nil)
+			if err != nil {
+				t.Fatalf("%s under churny: %v", plan.Name(), err)
+			}
+			if res.Summary() == "" {
+				t.Fatalf("%s under churny: empty summary", plan.Name())
+			}
+			summaries[plan.Name()] = res.Summary()
+		}
+		return summaries
+	}
+	first := run()
+	if len(first) != len(attack.PlanNames()) {
+		t.Fatalf("ran %d plans, registry has %d", len(first), len(attack.PlanNames()))
+	}
+	second := run()
+	for name, want := range first {
+		if got := second[name]; got != want {
+			t.Errorf("%s: same-seed churny reruns diverged:\n--- first ---\n%s--- second ---\n%s",
+				name, want, got)
+		}
 	}
 }
 

@@ -1,0 +1,15 @@
+// Positive cases: the fault-injection engine is a simulation package —
+// every fault fires on the event clock, never the host clock.
+package faults
+
+import "time"
+
+func nextFlap(started time.Time) time.Duration {
+	t0 := time.Now()        // want `time.Now in simulation package "faults"`
+	time.Sleep(time.Second) // want `time.Sleep in simulation package "faults"`
+	_ = time.Since(started) // want `time.Since in simulation package "faults"`
+	return time.Until(t0)   // want `time.Until in simulation package "faults"`
+}
+
+// Scenario durations are plain time.Duration values: allowed.
+func meanUptime() time.Duration { return 4 * time.Hour }

@@ -1,0 +1,17 @@
+// Positive cases: the fault injector runs inside the single-threaded
+// event loop; raw concurrency here would break byte-identical replays.
+package faults
+
+import "sync"
+
+func churnAll(nodes []func()) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(nodes))
+	for _, flip := range nodes {
+		go func() { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			flip()
+		}()
+	}
+	wg.Wait()
+}

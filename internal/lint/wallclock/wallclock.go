@@ -31,6 +31,7 @@ var Analyzer = &analysis.Analyzer{
 // simulated.
 var simPackages = map[string]bool{
 	"attack":  true,
+	"faults":  true,
 	"gridsim": true,
 	"netsim":  true,
 	"obs":     true,

@@ -8,8 +8,9 @@ import (
 )
 
 // TestWallClock covers clock reads inside a simulation package, the
-// observability layer (trace timestamps must be simulation ticks), and the
-// tooling-package exemption.
+// fault-injection engine (fault timing must come from the event clock),
+// the observability layer (trace timestamps must be simulation ticks), and
+// the tooling-package exemption.
 func TestWallClock(t *testing.T) {
-	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "obs", "tools")
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "faults", "obs", "tools")
 }

@@ -10,16 +10,16 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{Nodes: 1}); err == nil {
+	if _, err := FromConfig(Config{Nodes: 1}); err == nil {
 		t.Error("one-node simulation accepted")
 	}
-	if _, err := New(Config{Nodes: 10, Pools: []mining.Pool{{HashShare: 2}}}); err == nil {
+	if _, err := FromConfig(Config{Nodes: 10, Pools: []mining.Pool{{HashShare: 2}}}); err == nil {
 		t.Error("invalid pool share accepted")
 	}
 }
 
 func TestMiningProducesRoughlyExpectedBlocks(t *testing.T) {
-	s, err := New(Config{Nodes: 50, Seed: 4, Gossip: p2p.Config{FailureRate: 1e-12}})
+	s, err := FromConfig(Config{Nodes: 50, Seed: 4, Gossip: p2p.Config{FailureRate: 1e-12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestMiningProducesRoughlyExpectedBlocks(t *testing.T) {
 
 func TestHonestShareSlowsProduction(t *testing.T) {
 	run := func(share float64) int {
-		s, err := New(Config{Nodes: 20, Seed: 8, Gossip: p2p.Config{FailureRate: 1e-12}})
+		s, err := FromConfig(Config{Nodes: 20, Seed: 8, Gossip: p2p.Config{FailureRate: 1e-12}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestHonestShareSlowsProduction(t *testing.T) {
 }
 
 func TestZeroShareStopsMining(t *testing.T) {
-	s, err := New(Config{Nodes: 10, Seed: 1})
+	s, err := FromConfig(Config{Nodes: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestZeroShareStopsMining(t *testing.T) {
 }
 
 func TestStopMining(t *testing.T) {
-	s, err := New(Config{Nodes: 10, Seed: 2, Gossip: p2p.Config{FailureRate: 1e-12}})
+	s, err := FromConfig(Config{Nodes: 10, Seed: 2, Gossip: p2p.Config{FailureRate: 1e-12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestStopMining(t *testing.T) {
 }
 
 func TestNewTxsMonotonic(t *testing.T) {
-	s, err := New(Config{Nodes: 5, Seed: 3})
+	s, err := FromConfig(Config{Nodes: 5, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestNewTxsMonotonic(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() (int, int) {
-		s, err := New(Config{Nodes: 30, Seed: 77})
+		s, err := FromConfig(Config{Nodes: 30, Seed: 77})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func TestMultiPoolAttribution(t *testing.T) {
 		{Name: "big", HashShare: 0.75},
 		{Name: "small", HashShare: 0.25},
 	}
-	s, err := New(Config{Nodes: 30, Seed: 5, Pools: pools, Gossip: p2p.Config{FailureRate: 1e-12}})
+	s, err := FromConfig(Config{Nodes: 30, Seed: 5, Pools: pools, Gossip: p2p.Config{FailureRate: 1e-12}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"repro/internal/faults"
+	"repro/internal/mining"
+	"repro/internal/obs"
+	"repro/internal/p2p"
+)
+
+// Option configures a simulation under construction, mirroring the
+// core.New functional-options pattern (DESIGN.md §9). The raw Config
+// struct stays the underlying representation — every option is sugar over
+// one field — so config-literal call sites (FromConfig) remain first-class.
+type Option func(*Config)
+
+// WithNodes sets the full-node population size.
+func WithNodes(n int) Option { return func(c *Config) { c.Nodes = n } }
+
+// WithGossip replaces the whole p2p layer configuration.
+func WithGossip(g p2p.Config) Option { return func(c *Config) { c.Gossip = g } }
+
+// WithPools sets the mining roster.
+func WithPools(pools []mining.Pool) Option {
+	return func(c *Config) { c.Pools = pools }
+}
+
+// WithGateways pins each pool's block-publishing gateway node.
+func WithGateways(gw []p2p.NodeID) Option {
+	return func(c *Config) { c.GatewayNodes = gw }
+}
+
+// WithTxPerBlock sets how many synthetic transactions each block confirms.
+func WithTxPerBlock(n int) Option { return func(c *Config) { c.TxPerBlock = n } }
+
+// WithObserver attaches the observability layer.
+func WithObserver(o *obs.Observer) Option { return func(c *Config) { c.Obs = o } }
+
+// WithFaults selects the fault scenario (DESIGN.md §10).
+func WithFaults(sc faults.Scenario) Option {
+	return func(c *Config) { c.Faults = sc }
+}
+
+// New builds a simulation from a seed and functional options:
+//
+//	s, err := netsim.New(seed,
+//		netsim.WithNodes(500),
+//		netsim.WithPools(mining.DefaultPools()),
+//		netsim.WithFaults(faults.Churny()),
+//	)
+//
+// It is FromConfig over an options-assembled Config.
+func New(seed int64, opts ...Option) (*Simulation, error) {
+	cfg := Config{Seed: seed}
+	for _, apply := range opts {
+		apply(&cfg)
+	}
+	return FromConfig(cfg)
+}

@@ -60,6 +60,17 @@ type Event struct {
 // Tracer is a bounded in-memory event log. When the ring fills, the
 // oldest events are evicted and counted in Dropped — exports always note
 // how many events were lost. All methods are nil-safe.
+//
+// Dropped-event contract: eviction is strictly oldest-first, and Seq stays
+// dense across evictions (it counts every Emit, not every survivor), so a
+// consumer can detect a gap by comparing the first surviving Seq against 0
+// and Dropped against the export header. Replay-style consumers must
+// tolerate truncated prefixes: attack.ReplaySummaries, for example, reads
+// only the "summary" events each plan emits at completion, so the most
+// recent plans' summaries survive any overflow, while a plan whose summary
+// was followed by at least capacity further events is silently absent from
+// the replay map — callers distinguish "plan never ran" from "summary
+// evicted" via TraceLog.Dropped, never by assuming the map is complete.
 type Tracer struct {
 	mu       sync.Mutex
 	ring     []Event

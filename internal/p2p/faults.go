@@ -1,0 +1,96 @@
+package p2p
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FaultVerdict is the outcome of consulting the fault injector for one
+// message about to be scheduled.
+type FaultVerdict struct {
+	// Drop discards the message (counted in Stats.Faulted, separate from
+	// the simulator's own random-failure drops).
+	Drop bool
+	// Duplicate delivers a second copy of the message, with its own
+	// independently sampled relay delay — the at-least-once behaviour of a
+	// flaky transport retransmitting after a lost ack.
+	Duplicate bool
+	// ExtraDelay is added on top of the normal relay delay (both copies of
+	// a duplicated message are delayed).
+	ExtraDelay time.Duration
+}
+
+// FaultInjector intercepts every message the network schedules, after the
+// attacker link policy and before the random failure model. The injector
+// owns its randomness (internal/faults derives SplitMix64 streams from its
+// own seed) so installing one never re-orders draws from the simulation
+// rng. A nil injector — the default — costs one nil check per send.
+type FaultInjector interface {
+	Intercept(from, to NodeID, now time.Duration) FaultVerdict
+}
+
+// RewirePeers re-picks a node's outbound peer set, modelling the peer
+// re-discovery of a restarting node: a restarted bitcoind re-dials from
+// addrman rather than resuming its previous connections. Undirected edges
+// that existed only because of this node's old outbound picks are removed;
+// edges backed by another node's outbound connection to this node survive,
+// exactly as the inbound side of a real restart does. The caller supplies
+// the rng (fault injectors pass one derived from their own churn stream).
+func (n *Network) RewirePeers(id NodeID, rng *rand.Rand) {
+	node := n.Nodes[id]
+	for _, p := range node.Peers {
+		if !n.hasOutbound(p, id) {
+			n.removeAdj(id, p)
+			n.removeAdj(p, id)
+		}
+	}
+	node.Peers = node.Peers[:0]
+	count := n.cfg.PeerCount
+	if count > len(n.Nodes)-1 {
+		count = len(n.Nodes) - 1
+	}
+	picked := make(map[NodeID]bool, count)
+	for len(node.Peers) < count {
+		p := NodeID(rng.Intn(len(n.Nodes)))
+		if p == id || picked[p] {
+			continue
+		}
+		picked[p] = true
+		node.Peers = append(node.Peers, p)
+		n.addAdj(id, p)
+		n.addAdj(p, id)
+	}
+}
+
+// hasOutbound reports whether from lists to among its outbound peers.
+func (n *Network) hasOutbound(from, to NodeID) bool {
+	for _, p := range n.Nodes[from].Peers {
+		if p == to {
+			return true
+		}
+	}
+	return false
+}
+
+// addAdj inserts an undirected relay edge, keeping the adjacency sorted
+// and duplicate-free.
+func (n *Network) addAdj(a, b NodeID) {
+	for _, p := range n.adj[a] {
+		if p == b {
+			return
+		}
+	}
+	n.adj[a] = append(n.adj[a], b)
+	sortNodeIDs(n.adj[a])
+}
+
+// removeAdj deletes an undirected relay edge end.
+func (n *Network) removeAdj(a, b NodeID) {
+	lst := n.adj[a]
+	for i, p := range lst {
+		if p == b {
+			n.adj[a] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}

@@ -65,6 +65,11 @@ type Config struct {
 	// default — disables all instrumentation; an instrumented run produces
 	// byte-identical simulation output to an uninstrumented one.
 	Obs *obs.Observer
+	// Faults attaches a fault injector (DESIGN.md §10) consulted for every
+	// message after the attacker link policy and before the random failure
+	// model. Nil — the default — injects nothing with byte-identical
+	// output; internal/faults provides the implementation.
+	Faults FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +122,7 @@ type Stats struct {
 	Sent    int // messages scheduled
 	Dropped int // lost to random failure
 	Blocked int // denied by the link policy
+	Faulted int // discarded by the fault injector
 }
 
 // Network couples nodes to the event engine and implements the gossip
@@ -148,6 +154,7 @@ type netObs struct {
 	deduped [4]*obs.Counter
 	dropped *obs.Counter
 	blocked *obs.Counter
+	faulted *obs.Counter
 	retries *obs.Counter
 	orphans *obs.Counter
 	accept  *obs.Counter
@@ -168,6 +175,11 @@ func (n *Network) initObs(o *obs.Observer) {
 	}
 	n.obs.dropped = reg.Counter("p2p.msgs_dropped")
 	n.obs.blocked = reg.Counter("p2p.msgs_blocked")
+	// Only a fault-injecting run registers the faulted counter, so the
+	// faults-off metrics render (and its golden) is untouched.
+	if n.cfg.Faults != nil {
+		n.obs.faulted = reg.Counter("p2p.msgs_faulted")
+	}
 	n.obs.retries = reg.Counter("p2p.getdata_retries")
 	n.obs.orphans = reg.Counter("p2p.orphans_stashed")
 	n.obs.accept = reg.Counter("p2p.blocks_accepted")
@@ -383,14 +395,31 @@ func (n *Network) send(m Message) {
 		n.obs.blocked.Inc()
 		return
 	}
+	var extraDelay time.Duration
+	if n.cfg.Faults != nil {
+		v := n.cfg.Faults.Intercept(m.From, m.To, n.Engine.Now())
+		if v.Drop {
+			n.msgStats.Faulted++
+			n.obs.faulted.Inc()
+			return
+		}
+		if v.Duplicate {
+			n.scheduleDelivery(m, v.ExtraDelay+n.hopDelay())
+		}
+		extraDelay = v.ExtraDelay
+	}
 	if stats.Bernoulli(n.rng, n.cfg.FailureRate) {
 		n.msgStats.Dropped++
 		n.obs.dropped.Inc()
 		return
 	}
-	delay := n.hopDelay()
-	// Scheduling in the past cannot happen (delay >= 0); an error here is a
-	// programming bug, so surface it loudly in simulation runs.
+	n.scheduleDelivery(m, extraDelay+n.hopDelay())
+}
+
+// scheduleDelivery arms one delivery of the message after the given delay.
+// Scheduling in the past cannot happen (delay >= 0); an error here is a
+// programming bug, so surface it loudly in simulation runs.
+func (n *Network) scheduleDelivery(m Message, delay time.Duration) {
 	if err := n.Engine.After(delay, func(now time.Duration) { n.deliver(m, now) }); err != nil {
 		panic(fmt.Sprintf("p2p: schedule: %v", err))
 	}

@@ -1,0 +1,67 @@
+package p2p
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ConfigOption configures a gossip Config under construction, mirroring
+// the core.New functional-options pattern. The raw Config struct stays the
+// underlying representation, so struct-literal call sites remain valid.
+type ConfigOption func(*Config)
+
+// WithPeerCount sets the number of outbound peers per node.
+func WithPeerCount(n int) ConfigOption { return func(c *Config) { c.PeerCount = n } }
+
+// WithMeanRelayDelay sets the mean exponential per-hop delay (diffusion).
+func WithMeanRelayDelay(d time.Duration) ConfigOption {
+	return func(c *Config) { c.MeanRelayDelay = d }
+}
+
+// WithFailureRate sets the per-message random loss probability.
+func WithFailureRate(p float64) ConfigOption {
+	return func(c *Config) { c.FailureRate = p }
+}
+
+// WithSpreading selects diffusion or trickle propagation.
+func WithSpreading(s Spreading) ConfigOption {
+	return func(c *Config) { c.Spreading = s }
+}
+
+// WithTrickleInterval sets the trickle round length.
+func WithTrickleInterval(d time.Duration) ConfigOption {
+	return func(c *Config) { c.TrickleInterval = d }
+}
+
+// WithRequestTimeout sets the in-flight getdata timeout.
+func WithRequestTimeout(d time.Duration) ConfigOption {
+	return func(c *Config) { c.RequestTimeout = d }
+}
+
+// WithSameASBias sets the locality-biased peering probability.
+func WithSameASBias(p float64) ConfigOption {
+	return func(c *Config) { c.SameASBias = p }
+}
+
+// WithObserver attaches the observability layer.
+func WithObserver(o *obs.Observer) ConfigOption {
+	return func(c *Config) { c.Obs = o }
+}
+
+// WithFaultInjector attaches a fault injector (DESIGN.md §10).
+func WithFaultInjector(f FaultInjector) ConfigOption {
+	return func(c *Config) { c.Faults = f }
+}
+
+// NewConfig assembles a gossip Config from functional options; zero-valued
+// fields keep the paper's defaults, exactly as a Config literal would:
+//
+//	cfg := p2p.NewConfig(p2p.WithPeerCount(16), p2p.WithFailureRate(0.02))
+func NewConfig(opts ...ConfigOption) Config {
+	var cfg Config
+	for _, apply := range opts {
+		apply(&cfg)
+	}
+	return cfg
+}

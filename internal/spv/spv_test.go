@@ -12,7 +12,7 @@ import (
 
 func testSim(t *testing.T, nodes int, seed int64) *netsim.Simulation {
 	t.Helper()
-	sim, err := netsim.New(netsim.Config{
+	sim, err := netsim.FromConfig(netsim.Config{
 		Nodes: nodes, Seed: seed,
 		Gossip: p2p.Config{FailureRate: 0.10, MeanRelayDelay: 2 * time.Second},
 	})
