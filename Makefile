@@ -2,13 +2,15 @@
 #
 #   make check      — the tier-1 gate: build, vet, repolint, tests, race tests
 #   make lint       — go vet + the repo's own analyzers (cmd/repolint)
-#   make ci         — the gate plus gofmt cleanliness; what CI should run
-#   make bench      — every table/figure/ablation benchmark + both JSON gates
+#   make ci         — the gate plus gofmt cleanliness and the crash harness
+#   make crash      — kill/resume harness + fuzz smokes (DESIGN.md §11)
+#   make bench      — every table/figure/ablation benchmark + the JSON gates
 #   make benchjson  — machine-readable sequential-vs-parallel report
 #   make benchobs   — observability overhead gate (DESIGN.md §9, ≤5%)
+#   make benchckpt  — checkpoint overhead gate (DESIGN.md §11, ≤5%)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck bench benchjson benchobs clean
+.PHONY: all build vet lint test race check ci fmtcheck crash bench benchjson benchobs benchckpt clean
 
 all: check
 
@@ -33,7 +35,7 @@ test:
 # tree is single-threaded by construction (enforced by the nogoroutine
 # analyzer), so a full -race sweep only slows the gate down.
 race:
-	$(GO) test -race ./internal/faults/... ./internal/parallel/... ./internal/obs/...
+	$(GO) test -race ./internal/faults/... ./internal/parallel/... ./internal/obs/... ./internal/checkpoint/...
 
 # check is the tier-1 gate every PR must keep green (see README).
 check: build lint test race
@@ -43,11 +45,18 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# ci is the single command a CI workflow should run: the full tier-1 gate
-# plus formatting cleanliness.
-ci: check fmtcheck
+# crash proves the crash-safety layer against the built CLI: kill a
+# checkpointed `experiment all` at experiment boundaries and resume it
+# byte-identical at workers 1 and 8, check the degraded-mode exit codes,
+# and smoke the hardened decoders under short fuzz runs (DESIGN.md §11).
+crash:
+	sh scripts/crash_harness.sh
 
-bench: benchobs
+# ci is the single command a CI workflow should run: the full tier-1 gate
+# plus formatting cleanliness and the kill/resume harness.
+ci: check fmtcheck crash
+
+bench: benchobs benchckpt
 	$(GO) test -bench=. -benchmem ./...
 
 # benchjson regenerates BENCH_parallel.json: ns/op for the sequential vs
@@ -60,6 +69,12 @@ benchjson:
 # within 5% overhead.
 benchobs:
 	$(GO) run ./cmd/benchjson -obs -out BENCH_obs.json
+
+# benchckpt regenerates BENCH_checkpoint.json and enforces the DESIGN.md
+# §11 gate: a journaled trial ensemble must stay within 5% of the plain
+# path.
+benchckpt:
+	$(GO) run ./cmd/benchjson -checkpoint -out BENCH_checkpoint.json
 
 clean:
 	$(GO) clean ./...

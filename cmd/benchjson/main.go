@@ -8,12 +8,16 @@
 //
 //	benchjson [-workers N] [-out BENCH_parallel.json]
 //	benchjson -obs [-maxoverhead 5] [-out BENCH_obs.json]
+//	benchjson -checkpoint [-maxoverhead 5] [-out BENCH_checkpoint.json]
 //
 // With -out "-" the report goes to stdout. The -obs mode measures the
 // observability layer instead: each hot workload runs with instrumentation
 // off and on, the overhead is recorded, and the run fails when any
 // workload exceeds -maxoverhead percent — the DESIGN.md §9 gate that
-// instrumentation stays effectively free.
+// instrumentation stays effectively free. The -checkpoint mode applies the
+// same off/on discipline to the crash-safety layer (DESIGN.md §11): the
+// grid-trial ensemble with and without a write-ahead journal on the trial
+// boundary, gated the same way.
 package main
 
 import (
@@ -21,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/gridsim"
 	"repro/internal/netsim"
@@ -62,7 +68,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel worker bound (0 = one per CPU)")
 	out := fs.String("out", "", "output path (\"-\" = stdout; default BENCH_parallel.json, or BENCH_obs.json with -obs)")
 	obsMode := fs.Bool("obs", false, "measure instrumentation overhead (off vs on) instead of the parallel pairs")
-	maxOverhead := fs.Float64("maxoverhead", 5, "with -obs: fail when any workload's overhead exceeds this percentage")
+	ckptMode := fs.Bool("checkpoint", false, "measure checkpoint-journal overhead (off vs on) instead of the parallel pairs")
+	maxOverhead := fs.Float64("maxoverhead", 5, "with -obs/-checkpoint: fail when any workload's overhead exceeds this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +82,12 @@ func run(args []string) error {
 			*out = "BENCH_obs.json"
 		}
 		return runObs(w, *maxOverhead, *out)
+	}
+	if *ckptMode {
+		if *out == "" {
+			*out = "BENCH_checkpoint.json"
+		}
+		return runCheckpoint(w, *maxOverhead, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_parallel.json"
@@ -280,6 +293,61 @@ func runObs(w int, maxOverhead float64, out string) error {
 	}
 	if failed != nil {
 		return fmt.Errorf("instrumentation overhead above %.1f%%: %v", maxOverhead, failed)
+	}
+	return nil
+}
+
+// runCheckpoint measures the crash-safety layer's hot-path cost: the
+// parallel grid-trial ensemble with no journal versus write-ahead
+// journaling every trial outcome to a file. Overhead beyond maxOverhead
+// percent fails the run — the DESIGN.md §11 gate that checkpointing stays
+// effectively free on the trials hot path.
+func runCheckpoint(w int, maxOverhead float64, out string) error {
+	gridCfg := gridsim.Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, Seed: 1,
+	}
+	tc := gridsim.TrialsConfig{Trials: 16, Blocks: 20, Workers: w}
+	dir, err := os.MkdirTemp("", "benchckpt")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	trials := func(journaled bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runTC := tc
+				if journaled {
+					j, err := checkpoint.Create(filepath.Join(dir, "bench.ckpt"), runTC.Fingerprint(gridCfg))
+					if err != nil {
+						b.Fatal(err)
+					}
+					runTC.Journal = j
+				}
+				if _, err := gridsim.RunTrials(gridCfg, runTC); err != nil {
+					b.Fatal(err)
+				}
+				if err := runTC.Journal.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	report := ObsReport{MaxOverheadPct: maxOverhead}
+	fmt.Fprintf(os.Stderr, "measuring gridsim_trials (journal off vs on)...\n")
+	off, on := interleavedMinNsPerOp(trials(false), trials(true))
+	bench := ObsBench{Name: "gridsim_trials_journal", OffNsPerOp: off, OnNsPerOp: on}
+	if off > 0 {
+		bench.OverheadPct = (float64(on) - float64(off)) / float64(off) * 100
+	}
+	report.Benches = append(report.Benches, bench)
+	if err := writeJSON(out, report); err != nil {
+		return err
+	}
+	if bench.OverheadPct > maxOverhead {
+		return fmt.Errorf("checkpoint overhead above %.1f%%: %.1f%%", maxOverhead, bench.OverheadPct)
 	}
 	return nil
 }

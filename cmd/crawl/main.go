@@ -3,14 +3,22 @@
 // sampling instant — the synthetic equivalent of the dataset the paper
 // collected over two months.
 //
+// With -framed the output uses the hardened crawl.v1 format (checksummed
+// frames, DESIGN.md §11), so a killed or damaged crawl archive recovers its
+// valid prefix instead of misparsing. With -flaky the probes fail with the
+// given probability and are retried with capped exponential backoff and
+// deterministic jitter on the simulation clock.
+//
 // Usage:
 //
-//	crawl [-nodes N] [-hours H] [-interval MINUTES] [-seed N] [-o FILE]
+//	crawl [-nodes N] [-hours H] [-interval MINUTES] [-seed N]
+//	      [-framed] [-flaky RATE] [-retries N] [-o FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -30,6 +38,9 @@ func run() error {
 	hours := flag.Float64("hours", 24, "virtual hours to crawl")
 	interval := flag.Float64("interval", 10, "sampling interval in minutes")
 	seed := flag.Int64("seed", 1, "seed")
+	framed := flag.Bool("framed", false, "write the hardened crawl.v1 framed format")
+	flaky := flag.Float64("flaky", 0, "per-probe failure probability (0 disables)")
+	retries := flag.Int("retries", 3, "max probes per flaky peer per sample")
 	out := flag.String("o", "-", "output path (- for stdout)")
 	flag.Parse()
 
@@ -41,7 +52,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	c, err := crawler.New(sim, time.Duration(*interval*float64(time.Minute)))
+	c, err := crawler.NewWithRetry(sim, time.Duration(*interval*float64(time.Minute)), crawler.RetryConfig{
+		FailureRate: *flaky,
+		MaxAttempts: *retries,
+		Seed:        *seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -50,7 +65,7 @@ func run() error {
 	sim.Run(time.Duration(*hours * float64(time.Hour)))
 	c.Stop()
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -59,10 +74,18 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	if err := crawler.WriteJSONL(w, c.Snapshots()); err != nil {
+	write := crawler.WriteJSONL
+	if *framed {
+		write = crawler.WriteFramed
+	}
+	if err := write(w, c.Snapshots()); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "crawl: wrote %d snapshots of %d nodes (%d blocks published)\n",
 		len(c.Snapshots()), *nodes, sim.BlocksProduced())
+	if failed, recovered, exhausted := c.RetryStats(); failed > 0 {
+		fmt.Fprintf(os.Stderr, "crawl: %d probe failures, %d peers recovered by retry, %d exhausted\n",
+			failed, recovered, exhausted)
+	}
 	return nil
 }

@@ -5,9 +5,17 @@
 // link flaps/blackholes, message chaos — DESIGN.md §10), and `experiment
 // healstudy` sweeps all the presets over the partition-heal arc.
 //
+// `experiment all` additionally supports the crash-safety layer of
+// DESIGN.md §11: -checkpoint DIR write-ahead journals every experiment as
+// it completes, -resume replays the completed prefix of a killed run, and
+// -stepbudget arms the grid-simulation watchdog. Exit codes distinguish
+// outcomes: 0 clean, 1 hard error, 3 degraded-complete (some experiments
+// quarantined), 4 watchdog budget exhausted.
+//
 // Usage:
 //
 //	partition experiment <table1..table8|figure1..figure8|figure6a..figure6c|healstudy|all> [-seed N] [-full] [-faults SCENARIO]
+//	partition experiment all [-checkpoint DIR] [-resume] [-onfault degrade|fail] [-stepbudget N]
 //	partition attack <spatial|temporal|spatiotemporal|logical|doublespend|majority51|cascade> [-seed N] [-faults SCENARIO]
 //	partition defend <blockaware|stratum|routeguard> [-seed N]
 package main
@@ -16,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
@@ -28,16 +38,38 @@ import (
 	"repro/internal/topology"
 )
 
+// Exit codes (README "Exit codes"): distinct non-zero codes let the crash
+// harness and CI tell a degraded-but-complete sweep from a watchdog
+// cancellation without parsing stderr.
+const (
+	exitClean     = 0
+	exitHardError = 1
+	exitDegraded  = 3
+	exitExhausted = 4
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "partition:", err)
-		os.Exit(1)
+		if code == exitClean {
+			code = exitHardError
+		}
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+// ckptFlags carries the crash-safety options of `experiment all`.
+type ckptFlags struct {
+	dir     string
+	resume  bool
+	degrade bool
+	workers int
+}
+
+func run(args []string) (int, error) {
 	if len(args) < 2 {
-		return usageError()
+		return exitHardError, usageError()
 	}
 	verb, noun := args[0], args[1]
 	fs := flag.NewFlagSet("partition", flag.ContinueOnError)
@@ -47,17 +79,35 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "record the sim-time event trace and write it as JSONL to this path")
 	metrics := fs.Bool("metrics", false, "print the deterministic metrics snapshot after the command output")
 	faultsName := fs.String("faults", "", "fault scenario every simulation runs under (stable, churny, flaky, hijack-recovery); empty = no faults")
+	ckptDir := fs.String("checkpoint", "", "journal directory for `experiment all`: write-ahead checkpoint every experiment at its boundary")
+	resume := fs.Bool("resume", false, "replay completed experiments from the -checkpoint journal instead of re-running them")
+	onFault := fs.String("onfault", "degrade", "failed-experiment policy under -checkpoint: degrade (quarantine and continue) or fail (abort the sweep)")
+	stepBudget := fs.Int("stepbudget", 0, "grid-simulation step watchdog: cancel any replicate exceeding this many steps (0 disables)")
 	if err := fs.Parse(args[2:]); err != nil {
-		return err
+		return exitHardError, err
+	}
+	switch *onFault {
+	case "degrade", "fail":
+	default:
+		return exitHardError, fmt.Errorf("unknown -onfault policy %q (degrade, fail)", *onFault)
+	}
+	if (*ckptDir != "" || *resume) && (verb != "experiment" || noun != "all") {
+		return exitHardError, fmt.Errorf("-checkpoint/-resume apply only to `experiment all`")
+	}
+	if *resume && *ckptDir == "" {
+		return exitHardError, fmt.Errorf("-resume needs -checkpoint DIR")
 	}
 	opts := []core.Option{core.WithWorkers(*workers)}
 	if *full {
 		opts = append(opts, core.WithFull())
 	}
+	if *stepBudget > 0 {
+		opts = append(opts, core.WithStepBudget(*stepBudget))
+	}
 	if *faultsName != "" {
 		scenario, err := faults.Preset(*faultsName)
 		if err != nil {
-			return err
+			return exitHardError, err
 		}
 		opts = append(opts, core.WithFaults(scenario))
 	}
@@ -73,11 +123,21 @@ func run(args []string) error {
 	}
 	study, err := core.New(*seed, opts...)
 	if err != nil {
-		return err
+		return exitHardError, err
 	}
+	code := exitClean
 	switch verb {
 	case "experiment":
-		err = runExperiment(study, noun)
+		if noun == "all" && *ckptDir != "" {
+			code, err = runAllCheckpointed(study, ckptFlags{
+				dir:     *ckptDir,
+				resume:  *resume,
+				degrade: *onFault == "degrade",
+				workers: *workers,
+			})
+		} else {
+			err = runExperiment(study, noun)
+		}
 	case "attack":
 		err = runAttack(study, noun)
 	case "defend":
@@ -85,12 +145,77 @@ func run(args []string) error {
 	case "export":
 		err = runExport(study, noun)
 	default:
-		return usageError()
+		return exitHardError, usageError()
 	}
 	if err != nil {
-		return err
+		return code, err
 	}
-	return writeObservations(study, *tracePath, *metrics)
+	return code, writeObservations(study, *tracePath, *metrics)
+}
+
+// runAllCheckpointed is `experiment all` under the crash-safety layer: the
+// journal lives at <dir>/<study fingerprint>.ckpt, every experiment is
+// write-ahead journaled at its boundary, and -resume replays the completed
+// prefix of a killed run — output stays byte-identical to the plain sweep
+// at any worker count. The exit code reports degradation: quarantined
+// experiments yield exitDegraded, a watchdog cancellation exitExhausted.
+func runAllCheckpointed(study *core.Study, cf ckptFlags) (int, error) {
+	if err := os.MkdirAll(cf.dir, 0o755); err != nil {
+		return exitHardError, err
+	}
+	fp := study.Fingerprint()
+	path := filepath.Join(cf.dir, fp+".ckpt")
+	var (
+		j   *checkpoint.Journal
+		log *checkpoint.Log
+		err error
+	)
+	if _, statErr := os.Stat(path); cf.resume && statErr == nil {
+		j, log, err = checkpoint.Resume(path, fp)
+		if err == nil && log.Truncated {
+			fmt.Fprintf(os.Stderr, "partition: journal %s had a corrupt tail; resuming from the %d-record valid prefix\n",
+				path, len(log.Records))
+		}
+	} else {
+		j, err = checkpoint.Create(path, fp)
+	}
+	if err != nil {
+		return exitHardError, err
+	}
+	defer func() {
+		if cerr := j.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "partition: close journal:", cerr)
+		}
+	}()
+	run, err := study.RunAllCheckpointed(cf.workers, j, log, !cf.degrade)
+	if err != nil {
+		return exitHardError, err
+	}
+	for task, out := range run.Outputs {
+		if !run.Ran[task] {
+			continue
+		}
+		fmt.Print(out.Text)
+		fmt.Println()
+	}
+	if run.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "partition: replayed %d completed experiments from %s\n", run.Replayed, path)
+	}
+	if len(run.Faults) == 0 {
+		return exitClean, nil
+	}
+	// Quarantine report: every fault with its replay key, so a follow-up
+	// run can reproduce the failure in isolation.
+	for _, f := range run.Faults {
+		fmt.Fprintf(os.Stderr, "partition: experiment %q (task %d, seed %d) %s: %v\n",
+			f.Name, f.Task, f.Seed, f.Kind, f.Err)
+	}
+	fmt.Fprintf(os.Stderr, "partition: degraded run: %d/%d experiments completed, %d quarantined (journal: %s)\n",
+		run.Completed(), len(run.Outputs), len(run.Faults), path)
+	if run.Exhausted() {
+		return exitExhausted, nil
+	}
+	return exitDegraded, nil
 }
 
 // writeObservations exports what the observer recorded: the metrics

@@ -1,0 +1,220 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SchemaV1 names the first (current) journal schema. The header line of
+// every journal carries this string; readers reject unknown schemas.
+const SchemaV1 = "ckpt.v1"
+
+// ErrSchema marks a journal whose header names an unknown schema version.
+var ErrSchema = errors.New("checkpoint: unknown journal schema")
+
+// ErrFingerprint marks a journal written under a different run fingerprint:
+// its results belong to a differently-configured run and must not be
+// replayed into this one.
+var ErrFingerprint = errors.New("checkpoint: journal fingerprint mismatch")
+
+// Kind classifies a journal record.
+type Kind string
+
+const (
+	// KindResult is a completed task: Output holds its serialized result.
+	KindResult Kind = "result"
+	// KindQuarantine is a task that panicked or failed: the sweep continued
+	// in degraded mode and the record preserves the evidence (panic value,
+	// stack, input fingerprint). Quarantined tasks are re-run on resume.
+	KindQuarantine Kind = "quarantine"
+	// KindExhausted is a task cancelled by the watchdog: its simulation
+	// exceeded the configured step/event budget (ErrBudget). Exhausted
+	// tasks are re-run on resume (presumably under a larger budget).
+	KindExhausted Kind = "exhausted"
+)
+
+// valid reports whether k is a known record kind.
+func (k Kind) valid() bool {
+	return k == KindResult || k == KindQuarantine || k == KindExhausted
+}
+
+// Record is one journal entry: the outcome of one task, keyed by the task
+// index and its derived seed.
+type Record struct {
+	// Kind classifies the outcome.
+	Kind Kind `json:"kind"`
+	// Task is the task index within the sweep.
+	Task int `json:"task"`
+	// Seed is the task's derived seed — the replay key together with the
+	// journal fingerprint. A resume whose derived seed disagrees re-runs
+	// the task rather than replaying a result that no longer matches.
+	Seed int64 `json:"seed"`
+	// Name optionally labels the task (experiment name, trial label).
+	Name string `json:"name,omitempty"`
+	// Output is the serialized result of a KindResult record.
+	Output []byte `json:"output,omitempty"`
+	// Error is the failure message of a quarantined or exhausted task.
+	Error string `json:"error,omitempty"`
+	// Panic and Stack preserve a quarantined panic's value and goroutine
+	// stack.
+	Panic string `json:"panic,omitempty"`
+	Stack string `json:"stack,omitempty"`
+	// Input fingerprints the task's input for quarantine forensics.
+	Input string `json:"input,omitempty"`
+}
+
+// header is the first framed line of a journal.
+type header struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Journal is an append-only write-ahead journal. Append is safe for
+// concurrent use: the worker pool journals each task as it completes, so
+// record order follows completion order, not task order — replay is keyed,
+// not positional. Every record is flushed to the operating system before
+// Append returns, so a crash loses at most the line being written, and the
+// reader recovers the valid prefix.
+type Journal struct {
+	mu          sync.Mutex
+	f           *os.File
+	bw          *bufio.Writer
+	fingerprint string
+	appended    int
+}
+
+// Create opens a fresh journal at path (truncating any existing file) and
+// writes the ckpt.v1 header for the given run fingerprint.
+func Create(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create journal: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint}
+	if err := j.writeHeader(); err != nil {
+		_ = f.Close() // the header error is the one worth reporting
+		return nil, err
+	}
+	return j, nil
+}
+
+// Resume opens an existing journal for resumption: it replays the valid
+// record prefix, truncates any corrupt tail (the half-written line of the
+// interrupted run), and returns the journal positioned for appending plus
+// the replay log. A fingerprint mismatch or unknown schema is a hard error
+// — the journal belongs to a different run.
+func Resume(path, fingerprint string) (*Journal, *Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
+	}
+	log, validLen, err := parse(data, fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
+	}
+	if err := f.Truncate(int64(validLen)); err != nil {
+		_ = f.Close() // the truncate error is the one worth reporting
+		return nil, nil, fmt.Errorf("checkpoint: drop corrupt tail: %w", err)
+	}
+	if _, err := f.Seek(int64(validLen), io.SeekStart); err != nil {
+		_ = f.Close() // the seek error is the one worth reporting
+		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, appended: len(log.Records)}
+	return j, log, nil
+}
+
+// writeHeader frames and flushes the schema/fingerprint line.
+func (j *Journal) writeHeader() error {
+	payload, err := json.Marshal(header{Schema: SchemaV1, Fingerprint: j.fingerprint})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode header: %w", err)
+	}
+	line, err := EncodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := j.bw.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush header: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record and flushes it — the write-ahead step at every
+// trial boundary. A nil journal is a no-op, so un-checkpointed runs pay
+// nothing. Journal I/O errors are never droppable: the caller must abort
+// the sweep, because a silently failing journal would replay an incomplete
+// prefix as if it were the whole run.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	if !rec.Kind.valid() {
+		return fmt.Errorf("checkpoint: unknown record kind %q", rec.Kind)
+	}
+	if rec.Task < 0 {
+		return fmt.Errorf("checkpoint: negative task index %d", rec.Task)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode record: %w", err)
+	}
+	line, err := EncodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil && j.bw == nil {
+		return errors.New("checkpoint: append to closed journal")
+	}
+	if _, err := j.bw.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: write record: %w", err)
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush record: %w", err)
+	}
+	j.appended++
+	return nil
+}
+
+// Appended returns how many records this journal handle has written
+// (including records replayed into it by Resume).
+func (j *Journal) Appended() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Close flushes and closes the journal. A nil journal is a no-op.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.bw.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f, j.bw = nil, nil
+	return err
+}

@@ -47,6 +47,12 @@ type Options struct {
 	// chaos. The zero value — the default — injects nothing and keeps
 	// every experiment byte-identical to a faultless build.
 	Faults faults.Scenario
+	// StepBudget, when positive, arms the watchdog (DESIGN.md §11) on the
+	// study's grid simulations: a trial that would run past this many grid
+	// steps is cancelled with an error wrapping checkpoint.ErrBudget
+	// instead of spinning forever under a pathological fault scenario.
+	// Zero — the default — disarms the watchdog.
+	StepBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +142,13 @@ func WithNetworkNodes(n int) Option {
 //	study, err := core.New(1, core.WithFaults(faults.Churny()))
 func WithFaults(sc faults.Scenario) Option {
 	return func(o *Options) { o.Faults = sc }
+}
+
+// WithStepBudget arms the watchdog (DESIGN.md §11) on the study's grid
+// simulations: trials running past n grid steps are cancelled with an error
+// wrapping checkpoint.ErrBudget.
+func WithStepBudget(n int) Option {
+	return func(o *Options) { o.StepBudget = n }
 }
 
 // New generates (or reuses, per seed) the synthetic population and wraps

@@ -256,11 +256,15 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 			Seed:           s.seed + offset,
 			Obs:            s.Opts.Obs,
 			Faults:         s.Opts.Faults,
+			StepBudget:     s.Opts.StepBudget,
 		})
 		if err != nil {
 			return nil, err
 		}
 		candidate.Advance(Figure7Steps()[0])
+		if err := candidate.BudgetErr(); err != nil {
+			return nil, fmt.Errorf("core: figure7: %w", err)
+		}
 		if candidate.CounterfeitCells() > 1 {
 			g = candidate
 		}
@@ -276,6 +280,9 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 	res.Renders = append(res.Renders, g.Render())
 	for _, target := range Figure7Steps()[1:] {
 		g.Advance(target - prev)
+		if err := g.BudgetErr(); err != nil {
+			return nil, fmt.Errorf("core: figure7: %w", err)
+		}
 		prev = target
 		res.Snapshots = append(res.Snapshots, g.Snapshot())
 		res.Renders = append(res.Renders, g.Render())

@@ -75,6 +75,17 @@ type Crawler struct {
 	interval time.Duration
 	snaps    []Snapshot
 	stopped  bool
+
+	// Flaky-peer probing (retry.go). retryOn gates the machinery so the
+	// zero RetryConfig leaves the classic capture path untouched.
+	retry        RetryConfig
+	retryOn      bool
+	probeStream  splitmix
+	jitterStream splitmix
+
+	retriesFailed    int
+	retriesRecovered int
+	retriesExhausted int
 }
 
 // New creates a crawler sampling every interval.
@@ -86,6 +97,23 @@ func New(sim *netsim.Simulation, interval time.Duration) (*Crawler, error) {
 		return nil, fmt.Errorf("crawler: interval %v must be positive", interval)
 	}
 	return &Crawler{sim: sim, interval: interval}, nil
+}
+
+// NewWithRetry creates a crawler whose probes fail with rc.FailureRate and
+// are retried with capped exponential backoff and deterministic jitter —
+// the hardened-ingestion crawl of DESIGN.md §11.
+func NewWithRetry(sim *netsim.Simulation, interval time.Duration, rc RetryConfig) (*Crawler, error) {
+	c, err := New(sim, interval)
+	if err != nil {
+		return nil, err
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	c.retry = rc.withDefaults()
+	c.retryOn = rc.FailureRate > 0
+	c.seedStreams()
+	return c, nil
 }
 
 // Start schedules periodic captures on the simulation clock.
@@ -110,26 +138,27 @@ func (c *Crawler) schedule() {
 	}
 }
 
-// capture takes one snapshot now.
+// capture takes one snapshot now. With flaky-peer probing enabled, a probe
+// that fails records the peer down for now and schedules a deterministic
+// backoff retry that patches the observation in place (retry.go).
 func (c *Crawler) capture(now time.Duration) {
 	ref := c.sim.Network.RefHeight()
 	snap := Snapshot{T: now.Seconds(), TipHeight: ref}
-	for _, node := range c.sim.Network.Nodes {
-		obs := NodeObservation{
-			ID:           int(node.ID),
-			ASN:          int(node.Profile.ASN),
-			Org:          node.Profile.Org,
-			Family:       node.Profile.Family.String(),
-			Version:      node.Profile.Version,
-			LatencyIndex: node.Profile.LatencyIndex,
-			UptimeIndex:  node.Profile.UptimeIndex,
-			Up:           node.Up,
-			Height:       node.Height(),
-			Behind:       node.BlocksBehind(ref),
+	snapIdx := len(c.snaps)
+	var flaky []int
+	for i, node := range c.sim.Network.Nodes {
+		if c.retryOn && c.probeFails() {
+			c.retriesFailed++
+			snap.Nodes = append(snap.Nodes, NodeObservation{ID: int(node.ID), Up: false})
+			flaky = append(flaky, i)
+			continue
 		}
-		snap.Nodes = append(snap.Nodes, obs)
+		snap.Nodes = append(snap.Nodes, c.observe(i, ref))
 	}
 	c.snaps = append(c.snaps, snap)
+	for _, i := range flaky {
+		c.scheduleRetry(snapIdx, i, ref, 1)
+	}
 }
 
 // VersionCensus aggregates the snapshot's client versions — the crawl-side

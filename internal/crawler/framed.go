@@ -1,0 +1,111 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+)
+
+// The hardened snapshot format (schema crawl.v1) wraps every snapshot in
+// the crash-safety layer's checksum frame (DESIGN.md §11): one framed
+// header line, then one framed snapshot per line. A crawl killed mid-write,
+// a truncated copy, or a bit-flipped archive yields the valid prefix plus a
+// truncation report — never a silent misparse feeding corrupt lag data into
+// the attack planners.
+
+// SchemaV1 names the framed snapshot schema.
+const SchemaV1 = "crawl.v1"
+
+// ErrSchema marks a snapshot file whose header names an unknown schema.
+var ErrSchema = errors.New("crawler: unknown snapshot schema")
+
+// framedHeader is the first line of a crawl.v1 file.
+type framedHeader struct {
+	Schema string `json:"schema"`
+}
+
+// WriteFramed streams snapshots in the hardened crawl.v1 format: a framed
+// header line followed by one checksummed frame per snapshot.
+func WriteFramed(w io.Writer, snaps []Snapshot) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(framedHeader{Schema: SchemaV1})
+	if err != nil {
+		return fmt.Errorf("crawler: encode header: %w", err)
+	}
+	line, err := checkpoint.EncodeFrame(hdr)
+	if err != nil {
+		return fmt.Errorf("crawler: frame header: %w", err)
+	}
+	if _, err := bw.Write(line); err != nil {
+		return fmt.Errorf("crawler: write header: %w", err)
+	}
+	for i := range snaps {
+		payload, err := json.Marshal(&snaps[i])
+		if err != nil {
+			return fmt.Errorf("crawler: encode snapshot %d: %w", i, err)
+		}
+		line, err := checkpoint.EncodeFrame(payload)
+		if err != nil {
+			return fmt.Errorf("crawler: frame snapshot %d: %w", i, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return fmt.Errorf("crawler: write snapshot %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFramed loads snapshots written by WriteFramed, recovering from damage:
+// a missing or corrupt header, or an unknown schema, is a hard error; a
+// corrupt or half-written tail is dropped and reported via truncated, with
+// every checksummed snapshot before it returned intact.
+func ReadFramed(r io.Reader) (snaps []Snapshot, truncated bool, err error) {
+	br := bufio.NewReader(r)
+	line, complete := readLine(br)
+	if !complete {
+		return nil, false, fmt.Errorf("crawler: missing snapshot header: %w", checkpoint.ErrCorrupt)
+	}
+	payload, err := checkpoint.DecodeFrame(line)
+	if err != nil {
+		return nil, false, fmt.Errorf("crawler: snapshot header: %w", err)
+	}
+	var hdr framedHeader
+	if err := json.Unmarshal(payload, &hdr); err != nil {
+		return nil, false, fmt.Errorf("crawler: snapshot header: %w: %v", checkpoint.ErrCorrupt, err)
+	}
+	if hdr.Schema != SchemaV1 {
+		return nil, false, fmt.Errorf("%w %q (want %q)", ErrSchema, hdr.Schema, SchemaV1)
+	}
+	for {
+		line, complete := readLine(br)
+		if len(line) == 0 && !complete {
+			return snaps, false, nil
+		}
+		if !complete {
+			return snaps, true, nil
+		}
+		payload, err := checkpoint.DecodeFrame(line)
+		if err != nil {
+			return snaps, true, nil
+		}
+		var s Snapshot
+		if err := json.Unmarshal(payload, &s); err != nil {
+			return snaps, true, nil
+		}
+		snaps = append(snaps, s)
+	}
+}
+
+// readLine reads one line without its newline; complete is false when the
+// input ended before a newline (a half-written final line never counts).
+func readLine(br *bufio.Reader) (line []byte, complete bool) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return line, false
+	}
+	return line[:len(line)-1], true
+}

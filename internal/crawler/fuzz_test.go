@@ -1,0 +1,33 @@
+package crawler
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFramed hammers the hardened snapshot loader with arbitrary bytes.
+// The invariants under fuzzing: never panic; a nil error means the returned
+// prefix is well-formed (re-encoding and re-reading it reproduces the same
+// snapshots, clean); truncation never accompanies a hard error.
+func FuzzReadFramed(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snaps, truncated, err := ReadFramed(bytes.NewReader(data))
+		if err != nil {
+			if truncated {
+				t.Fatal("hard error with truncated=true")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFramed(&buf, snaps); err != nil {
+			t.Fatalf("re-encode recovered prefix: %v", err)
+		}
+		again, trunc2, err := ReadFramed(bytes.NewReader(buf.Bytes()))
+		if err != nil || trunc2 {
+			t.Fatalf("re-read of re-encoded prefix: truncated=%v err=%v", trunc2, err)
+		}
+		if len(again) != len(snaps) {
+			t.Fatalf("re-read %d snapshots, recovered %d", len(again), len(snaps))
+		}
+	})
+}

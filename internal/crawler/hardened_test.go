@@ -1,0 +1,236 @@
+package crawler
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+func crawlSnapshots(t *testing.T) []Snapshot {
+	t.Helper()
+	sim := testSim(t)
+	c, err := New(sim, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.StartMining()
+	c.Start()
+	sim.Run(2 * time.Hour)
+	c.Stop()
+	return c.Snapshots()
+}
+
+func TestFramedRoundtrip(t *testing.T) {
+	snaps := crawlSnapshots(t)
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadFramed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean file reported truncated")
+	}
+	if !reflect.DeepEqual(got, snaps) {
+		t.Error("roundtrip changed the snapshots")
+	}
+}
+
+// TestFramedTruncationRecovery: a file cut mid-record yields the valid
+// prefix and a truncation report, never an error or a misparse.
+func TestFramedTruncationRecovery(t *testing.T) {
+	snaps := crawlSnapshots(t)
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Find the end of the header plus 3 full records, then keep a partial
+	// 4th line to simulate a crawl killed mid-write.
+	lines, cut := 0, 0
+	for i, b := range data {
+		if b != '\n' {
+			continue
+		}
+		lines++
+		if lines == 4 {
+			cut = i + 1
+			break
+		}
+	}
+	damaged := append([]byte{}, data[:cut+25]...)
+	got, truncated, err := ReadFramed(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("damaged file not reported truncated")
+	}
+	if !reflect.DeepEqual(got, snaps[:3]) {
+		t.Errorf("recovered %d snapshots, want the 3-snapshot prefix intact", len(got))
+	}
+}
+
+// TestFramedBitFlip: flipping one byte inside a record drops that record
+// and everything after it (the frame checksum catches the damage), while
+// the prefix survives.
+func TestFramedBitFlip(t *testing.T) {
+	snaps := crawlSnapshots(t)
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte{}, buf.Bytes()...)
+	lines, flip := 0, 0
+	for i, b := range data {
+		if b != '\n' {
+			continue
+		}
+		lines++
+		if lines == 2 { // header + 1 record survive; damage record 2
+			flip = i + 40
+			break
+		}
+	}
+	data[flip] ^= 0x01
+	got, truncated, err := ReadFramed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("bit-flipped file not reported truncated")
+	}
+	if !reflect.DeepEqual(got, snaps[:1]) {
+		t.Errorf("recovered %d snapshots, want 1", len(got))
+	}
+}
+
+func TestFramedHeaderErrors(t *testing.T) {
+	if _, _, err := ReadFramed(bytes.NewReader(nil)); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Errorf("empty file: %v, want ErrCorrupt", err)
+	}
+	if _, _, err := ReadFramed(bytes.NewReader([]byte("not a frame\n"))); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Errorf("garbage header: %v, want ErrCorrupt", err)
+	}
+	hdr, err := checkpoint.EncodeFrame([]byte(`{"schema":"crawl.v99"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFramed(bytes.NewReader(hdr)); !errors.Is(err, ErrSchema) {
+		t.Errorf("unknown schema: %v, want ErrSchema", err)
+	}
+}
+
+func TestRetryConfigValidate(t *testing.T) {
+	bad := []RetryConfig{
+		{FailureRate: -0.1},
+		{FailureRate: 1},
+		{FailureRate: 0.1, MaxAttempts: -1},
+		{FailureRate: 0.1, BaseBackoff: -time.Second},
+	}
+	for _, rc := range bad {
+		if err := rc.Validate(); err == nil {
+			t.Errorf("accepted %+v", rc)
+		}
+	}
+	if _, err := NewWithRetry(testSim(t), time.Minute, RetryConfig{FailureRate: 1.5}); err == nil {
+		t.Error("NewWithRetry accepted invalid config")
+	}
+}
+
+// TestRetryDeterministic: same crawl seed, same snapshots — flaky probes,
+// backoff timing, and recoveries all replay exactly; and the zero failure
+// rate matches the classic path byte for byte.
+func TestRetryDeterministic(t *testing.T) {
+	run := func(rate float64) ([]Snapshot, [3]int) {
+		sim := testSim(t)
+		c, err := NewWithRetry(sim, 10*time.Minute, RetryConfig{
+			FailureRate: rate,
+			MaxAttempts: 3,
+			BaseBackoff: 30 * time.Second,
+			MaxBackoff:  5 * time.Minute,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.StartMining()
+		c.Start()
+		sim.Run(3 * time.Hour)
+		c.Stop()
+		f, r, e := c.RetryStats()
+		return c.Snapshots(), [3]int{f, r, e}
+	}
+	a, statsA := run(0.3)
+	b, statsB := run(0.3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("flaky crawls with the same seed diverged")
+	}
+	if statsA != statsB {
+		t.Errorf("retry stats diverged: %v vs %v", statsA, statsB)
+	}
+	if statsA[0] == 0 {
+		t.Error("failure rate 0.3 produced no failed probes")
+	}
+	if statsA[1] == 0 {
+		t.Error("no peers recovered by retry")
+	}
+
+	clean, cleanStats := run(0)
+	sim := testSim(t)
+	c, err := New(sim, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.StartMining()
+	c.Start()
+	sim.Run(3 * time.Hour)
+	c.Stop()
+	if !reflect.DeepEqual(clean, c.Snapshots()) {
+		t.Error("zero failure rate diverged from the classic path")
+	}
+	if cleanStats != [3]int{} {
+		t.Errorf("clean crawl reported retry activity: %v", cleanStats)
+	}
+}
+
+// TestRetryRecoversPeers: a recovered peer's placeholder observation is
+// patched in place — the snapshot ends up with real data for peers whose
+// retry succeeded, and every node ID stays in position.
+func TestRetryRecoversPeers(t *testing.T) {
+	sim := testSim(t)
+	c, err := NewWithRetry(sim, 10*time.Minute, RetryConfig{FailureRate: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.StartMining()
+	c.Start()
+	sim.Run(2 * time.Hour)
+	c.Stop()
+	failed, recovered, exhausted := c.RetryStats()
+	if failed == 0 || recovered == 0 {
+		t.Fatalf("stats failed=%d recovered=%d exhausted=%d: retries never engaged", failed, recovered, exhausted)
+	}
+	// A patched observation carries real chain data; an exhausted one is a
+	// bare placeholder. Either way every node ID stays in position.
+	patched := 0
+	for si, s := range c.Snapshots() {
+		for i, n := range s.Nodes {
+			if n.ID != int(sim.Network.Nodes[i].ID) {
+				t.Fatalf("snapshot %d node %d: ID %d out of position", si, i, n.ID)
+			}
+			if n.Up {
+				patched++
+			}
+		}
+	}
+	if patched == 0 {
+		t.Error("no up observations survived the flaky crawl")
+	}
+}

@@ -1,0 +1,175 @@
+package crawler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Flaky-peer handling (DESIGN.md §11): the real Bitnodes crawler talks to
+// peers that time out, and a sample that silently drops them undercounts
+// the network. With a RetryConfig attached, every probe can fail with a
+// configured probability; a failed peer is recorded down for now and
+// re-probed after a capped exponential backoff with deterministic jitter.
+// All randomness comes from a SplitMix64 stream derived from the crawl
+// seed, and every timer is a sim-tick timer on the simulation engine, so a
+// flaky crawl is exactly as reproducible as a clean one.
+
+// RetryConfig parameterizes flaky-peer probing.
+type RetryConfig struct {
+	// FailureRate is the per-probe failure probability. Zero disables
+	// probe failures (and with them the retry machinery).
+	FailureRate float64
+	// MaxAttempts bounds total probes per node per capture, the initial
+	// probe included. Default 3.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Default 30 s of virtual time.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 10 min.
+	MaxBackoff time.Duration
+	// Seed derives the probe and jitter streams. Zero reuses nothing —
+	// the streams are namespaced off this value alone, so two crawlers
+	// with the same RetryConfig draw identical fault sequences.
+	Seed int64
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.MaxAttempts == 0 {
+		rc.MaxAttempts = 3
+	}
+	if rc.BaseBackoff == 0 {
+		rc.BaseBackoff = 30 * time.Second
+	}
+	if rc.MaxBackoff == 0 {
+		rc.MaxBackoff = 10 * time.Minute
+	}
+	return rc
+}
+
+// Validate rejects unusable retry parameters.
+func (rc RetryConfig) Validate() error {
+	if rc.FailureRate < 0 || rc.FailureRate >= 1 {
+		return fmt.Errorf("crawler: retry failure rate %v outside [0,1)", rc.FailureRate)
+	}
+	if rc.MaxAttempts < 0 {
+		return fmt.Errorf("crawler: negative retry attempts %d", rc.MaxAttempts)
+	}
+	if rc.BaseBackoff < 0 || rc.MaxBackoff < 0 {
+		return fmt.Errorf("crawler: negative backoff (base %v, max %v)", rc.BaseBackoff, rc.MaxBackoff)
+	}
+	return nil
+}
+
+// splitmix is the crawler's private SplitMix64 stream — the same mixing
+// function internal/parallel and internal/faults use. 8 bytes of state, so
+// the crawler never touches the simulation's math/rand stream.
+type splitmix struct{ state uint64 }
+
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15
+	splitmixMul1  = 0xBF58476D1CE4E5B9
+	splitmixMul2  = 0x94D049BB133111EB
+)
+
+func (s *splitmix) next() uint64 {
+	s.state += splitmixGamma
+	z := s.state
+	z ^= z >> 30
+	z *= splitmixMul1
+	z ^= z >> 27
+	z *= splitmixMul2
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1) from the top 53 bits.
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// probeSaltProbe and probeSaltJitter namespace the two retry streams off
+// the crawl seed.
+const (
+	probeSaltProbe  = 0xC4A1
+	probeSaltJitter = 0xC4A2
+)
+
+// backoff returns the capped exponential delay before retry attempt n
+// (n = 1 is the first retry), jittered deterministically: the base delay
+// doubles per attempt up to MaxBackoff, and the jitter stream scales it
+// into [d/2, d) so synchronized retries spread out.
+func (c *Crawler) backoff(attempt int) time.Duration {
+	d := c.retry.BaseBackoff << (attempt - 1)
+	if d > c.retry.MaxBackoff || d < 0 {
+		d = c.retry.MaxBackoff
+	}
+	half := float64(d) / 2
+	return time.Duration(half + c.jitterStream.float64()*half)
+}
+
+// probeFails draws the next probe outcome.
+func (c *Crawler) probeFails() bool {
+	if c.retry.FailureRate <= 0 {
+		return false
+	}
+	return c.probeStream.float64() < c.retry.FailureRate
+}
+
+// observe reads one node's state — the successful-probe path shared by the
+// initial capture and retries.
+func (c *Crawler) observe(nodeIdx, ref int) NodeObservation {
+	node := c.sim.Network.Nodes[nodeIdx]
+	return NodeObservation{
+		ID:           int(node.ID),
+		ASN:          int(node.Profile.ASN),
+		Org:          node.Profile.Org,
+		Family:       node.Profile.Family.String(),
+		Version:      node.Profile.Version,
+		LatencyIndex: node.Profile.LatencyIndex,
+		UptimeIndex:  node.Profile.UptimeIndex,
+		Up:           node.Up,
+		Height:       node.Height(),
+		Behind:       node.BlocksBehind(ref),
+	}
+}
+
+// scheduleRetry re-probes a flaky peer after a backoff, overwriting its
+// placeholder observation in snapshot snapIdx on success. The retry reads
+// the node's state at retry time against the snapshot's original reference
+// height, so lag accounting stays anchored to the sample instant.
+func (c *Crawler) scheduleRetry(snapIdx, nodeIdx, ref, attempt int) {
+	if attempt >= c.retry.MaxAttempts {
+		c.retriesExhausted++
+		return
+	}
+	err := c.sim.Engine.After(c.backoff(attempt), func(time.Duration) {
+		if c.stopped {
+			return
+		}
+		if c.probeFails() {
+			c.retriesFailed++
+			c.scheduleRetry(snapIdx, nodeIdx, ref, attempt+1)
+			return
+		}
+		c.snaps[snapIdx].Nodes[nodeIdx] = c.observe(nodeIdx, ref)
+		c.retriesRecovered++
+	})
+	if err != nil {
+		panic(fmt.Sprintf("crawler: schedule retry: %v", err))
+	}
+}
+
+// RetryStats reports the flaky-peer accounting of a crawl: probes that
+// failed, peers recovered by a retry, and peers still down after
+// MaxAttempts.
+func (c *Crawler) RetryStats() (failed, recovered, exhausted int) {
+	return c.retriesFailed, c.retriesRecovered, c.retriesExhausted
+}
+
+// seedStreams initializes the probe and jitter streams off the crawl seed.
+func (c *Crawler) seedStreams() {
+	c.probeStream = splitmix{state: uint64(parallel.DeriveSeed(c.retry.Seed, probeSaltProbe))}
+	c.jitterStream = splitmix{state: uint64(parallel.DeriveSeed(c.retry.Seed, probeSaltJitter))}
+}

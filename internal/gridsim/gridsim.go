@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/blockchain"
+	"repro/internal/checkpoint"
 	"repro/internal/faults"
 	"repro/internal/mining"
 	"repro/internal/obs"
@@ -84,6 +85,11 @@ type Config struct {
 	// leaves the run byte-identical to a faultless build. The attacker's
 	// anchor cell never churns.
 	Faults faults.Scenario
+	// StepBudget, when positive, arms the watchdog (DESIGN.md §11): Advance
+	// refuses to run past this many total steps and Exhausted latches, so a
+	// runaway trial is cancelled at a deterministic point instead of
+	// spinning. Zero disarms the watchdog.
+	StepBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,9 @@ func (c Config) Validate() error {
 	}
 	if c.BoundaryUntil < 0 || c.BoundaryFrom < 0 || (c.BoundaryUntil > 0 && c.BoundaryUntil < c.BoundaryFrom) {
 		return fmt.Errorf("gridsim: invalid boundary window [%d, %d)", c.BoundaryFrom, c.BoundaryUntil)
+	}
+	if c.StepBudget < 0 {
+		return fmt.Errorf("gridsim: negative step budget %d", c.StepBudget)
 	}
 	return nil
 }
@@ -197,6 +206,8 @@ type Grid struct {
 	// zero value — every fault check in the hot loop is gated on this nil
 	// check so the faultless path is untouched.
 	faults *faults.GridInjector
+	// exhausted latches once Advance refuses to cross Config.StepBudget.
+	exhausted bool
 
 	// Observability (DESIGN.md §9). obsOn gates fork-population tracking
 	// so the uninstrumented hot loop pays a single bool check per
@@ -313,6 +324,20 @@ func (g *Grid) adopt(dst, src *cell) {
 // interval implied by the span ratio.
 func (g *Grid) StepsPerBlock() int { return g.stepsPerBlock }
 
+// Exhausted reports whether an Advance was cancelled by the step budget.
+func (g *Grid) Exhausted() bool { return g.exhausted }
+
+// BudgetErr returns nil, or the watchdog cancellation as an error wrapping
+// checkpoint.ErrBudget so supervised runners journal the trial as exhausted
+// rather than quarantined.
+func (g *Grid) BudgetErr() error {
+	if !g.exhausted {
+		return nil
+	}
+	return fmt.Errorf("%w: step budget %d hit with the run unfinished",
+		checkpoint.ErrBudget, g.cfg.StepBudget)
+}
+
 // Step returns the current time step.
 func (g *Grid) Step() int { return g.step }
 
@@ -358,6 +383,10 @@ const faultsSeedSalt = 0xFA17
 // (probability AttackerShare) or the honest network.
 func (g *Grid) Advance(n int) {
 	for i := 0; i < n; i++ {
+		if g.cfg.StepBudget > 0 && g.step >= g.cfg.StepBudget {
+			g.exhausted = true
+			return
+		}
 		g.step++
 		if g.faults != nil {
 			g.faults.StepChurn(g.step)

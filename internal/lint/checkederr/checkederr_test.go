@@ -9,7 +9,8 @@ import (
 
 // TestCheckedErr covers dropped error statements plus the documented
 // exemptions: defer, the fmt print family, explicit _ discards, and the
-// never-failing in-memory writers.
+// never-failing in-memory writers — and the journal-write error paths,
+// where a dropped append error silently loses a checkpoint record.
 func TestCheckedErr(t *testing.T) {
-	analysistest.Run(t, "../testdata", checkederr.Analyzer, "checkederr")
+	analysistest.Run(t, "../testdata", checkederr.Analyzer, "checkederr", "checkederr_journal")
 }

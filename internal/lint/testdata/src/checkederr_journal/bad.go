@@ -1,0 +1,39 @@
+// Positive cases: journal-write error paths. A write-ahead journal is only
+// crash-safe if every append and close error is surfaced — a dropped error
+// here means a record the resume path will silently never see.
+package checkederr_journal
+
+import "os"
+
+type record struct {
+	Task int
+	Seed int64
+}
+
+type journal struct {
+	f *os.File
+}
+
+func (j *journal) Append(rec record) error {
+	_, err := j.f.Write([]byte{byte(rec.Task)})
+	return err
+}
+
+func (j *journal) Close() error { return j.f.Close() }
+
+func checkpointAll(j *journal, recs []record) {
+	for _, rec := range recs {
+		j.Append(rec) // want `unchecked error: result of j.Append is discarded`
+	}
+	j.f.Sync() // want `unchecked error: result of j.f.Sync is discarded`
+	j.Close()  // want `unchecked error: result of j.Close is discarded`
+}
+
+func checkpointAllChecked(j *journal, recs []record) error {
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			return err
+		}
+	}
+	return j.Close()
+}

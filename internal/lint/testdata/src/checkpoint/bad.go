@@ -1,0 +1,24 @@
+// Positive cases: wall-clock reads inside the crash-safety layer
+// ("checkpoint" is one of the simulated-time leaf names). Journal records
+// and fingerprints must be byte-identical across runs, so a host timestamp
+// in either breaks resume.
+package checkpoint
+
+import "time"
+
+type record struct {
+	Task    int
+	WallNs  int64
+	Elapsed time.Duration
+}
+
+func stamp(task int, started time.Time) record {
+	return record{
+		Task:    task,
+		WallNs:  time.Now().UnixNano(), // want `time.Now in simulation package "checkpoint"`
+		Elapsed: time.Since(started),   // want `time.Since in simulation package "checkpoint"`
+	}
+}
+
+// durations alone are fine: only clock reads are banned.
+func flushEvery() time.Duration { return 30 * time.Second }

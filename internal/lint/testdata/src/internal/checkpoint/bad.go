@@ -1,0 +1,27 @@
+// Positive cases: internal/checkpoint gets no concurrency exemption. The
+// journal serializes appends under a mutex; a raw goroutine flushing
+// records in the background would make the on-disk record order depend on
+// scheduling, so a journal cut at a kill point would no longer be the
+// deterministic prefix resume relies on.
+package checkpoint
+
+import "sync"
+
+type journal struct {
+	mu   sync.Mutex
+	rows [][]byte
+}
+
+func (j *journal) flushAll(recs [][]byte) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(recs))
+	for _, r := range recs {
+		go func(rec []byte) { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			j.mu.Lock()
+			j.rows = append(j.rows, rec)
+			j.mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+}

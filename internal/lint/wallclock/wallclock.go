@@ -4,11 +4,14 @@
 // simulation path makes measured durations depend on host speed and
 // scheduling, which is precisely the nondeterminism a measurement
 // reproduction cannot afford. The check applies to non-test files of the
-// simulation packages (attack, gridsim, netsim, sim, p2p, core, obs);
-// tooling such as cmd/* may read the clock freely. The observability layer
-// (internal/obs) is covered because its whole contract is that event
-// timestamps are simulation ticks — a wall-clock read there would leak
-// host time into traces that must be byte-identical across runs.
+// simulation packages (attack, checkpoint, gridsim, netsim, sim, p2p,
+// core, obs); tooling such as cmd/* may read the clock freely. The
+// observability layer (internal/obs) is covered because its whole contract
+// is that event timestamps are simulation ticks — a wall-clock read there
+// would leak host time into traces that must be byte-identical across
+// runs. The crash-safety layer (internal/checkpoint) is covered because a
+// journal or its fingerprints must hash and replay identically across
+// runs; wall-clock timestamps in records would break resume.
 package wallclock
 
 import (
@@ -30,14 +33,15 @@ var Analyzer = &analysis.Analyzer{
 // simPackages are the import-path leaf names of the packages whose time is
 // simulated.
 var simPackages = map[string]bool{
-	"attack":  true,
-	"faults":  true,
-	"gridsim": true,
-	"netsim":  true,
-	"obs":     true,
-	"sim":     true,
-	"p2p":     true,
-	"core":    true,
+	"attack":     true,
+	"checkpoint": true,
+	"faults":     true,
+	"gridsim":    true,
+	"netsim":     true,
+	"obs":        true,
+	"sim":        true,
+	"p2p":        true,
+	"core":       true,
 }
 
 // banned are the time functions that read or wait on the host clock.

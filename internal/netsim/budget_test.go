@@ -1,0 +1,34 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+func TestRunCheckedBudgetExhausted(t *testing.T) {
+	s, err := New(1, WithNodes(20), WithEventBudget(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMining()
+	if err := s.RunChecked(24 * time.Hour); !errors.Is(err, checkpoint.ErrBudget) {
+		t.Fatalf("RunChecked = %v, want wrap of checkpoint.ErrBudget", err)
+	}
+	if !s.Engine.BudgetExhausted() {
+		t.Error("engine not latched exhausted")
+	}
+}
+
+func TestRunCheckedCleanWithoutBudget(t *testing.T) {
+	s, err := New(1, WithNodes(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMining()
+	if err := s.RunChecked(time.Hour); err != nil {
+		t.Fatalf("unbudgeted RunChecked = %v", err)
+	}
+}

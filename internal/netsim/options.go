@@ -40,6 +40,12 @@ func WithFaults(sc faults.Scenario) Option {
 	return func(c *Config) { c.Faults = sc }
 }
 
+// WithEventBudget arms the engine watchdog (DESIGN.md §11): a run that
+// processes n events is cancelled and RunChecked reports the exhaustion.
+func WithEventBudget(n uint64) Option {
+	return func(c *Config) { c.EventBudget = n }
+}
+
 // New builds a simulation from a seed and functional options:
 //
 //	s, err := netsim.New(seed,

@@ -36,14 +36,23 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 type PanicError struct {
 	// Task is the index of the task that panicked.
 	Task int
+	// Seed is the task's derived seed, when the entry point derives one
+	// (Trials, SuperviseTrials). Seeded reports whether it is meaningful:
+	// Map and Sweep tasks carry no seed, and 0 is a valid derived seed.
+	Seed   int64
+	Seeded bool
 	// Value is the value passed to panic.
 	Value any
 	// Stack is the goroutine stack captured at recovery.
 	Stack []byte
 }
 
-// Error formats the panic with its task attribution and stack.
+// Error formats the panic with its task attribution and stack. Seeded tasks
+// name their seed so a failing trial can be reproduced standalone.
 func (e *PanicError) Error() string {
+	if e.Seeded {
+		return fmt.Sprintf("parallel: task %d (seed %d) panicked: %v\n%s", e.Task, e.Seed, e.Value, e.Stack)
+	}
 	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Task, e.Value, e.Stack)
 }
 
@@ -54,6 +63,16 @@ func (e *PanicError) Error() string {
 // never a partial result set, so a failed sweep can't silently feed
 // zero-valued rows into a table or figure downstream.
 func Map[T any](workers, n int, fn func(task int) (T, error)) ([]T, error) {
+	return mapSeeded(workers, n, nil, func(i int, _ int64) (T, error) {
+		return fn(i)
+	})
+}
+
+// mapSeeded is the shared pool under Map, Sweep, Trials, and the supervised
+// runner. seedOf derives the per-task seed (nil when the entry point carries
+// none); recovered panics are attributed with the task index and, when
+// seeded, the seed that reproduces the failure.
+func mapSeeded[T any](workers, n int, seedOf func(int) int64, fn func(task int, seed int64) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -66,12 +85,16 @@ func Map[T any](workers, n int, fn func(task int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	run := func(i int) {
+		var seed int64
+		if seedOf != nil {
+			seed = seedOf(i)
+		}
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
+				errs[i] = &PanicError{Task: i, Seed: seed, Seeded: seedOf != nil, Value: r, Stack: debug.Stack()}
 			}
 		}()
-		results[i], errs[i] = fn(i)
+		results[i], errs[i] = fn(i, seed)
 	}
 	if workers == 1 {
 		// Run inline: same semantics, no goroutine overhead, and stack
@@ -118,9 +141,9 @@ func Sweep[P, T any](workers int, params []P, fn func(i int, p P) (T, error)) ([
 // Because every trial owns an independent seed, the ensemble is identical
 // for any worker count.
 func Trials[T any](workers int, root int64, n int, fn func(trial int, seed int64) (T, error)) ([]T, error) {
-	return Map(workers, n, func(i int) (T, error) {
-		return fn(i, DeriveSeed(root, i))
-	})
+	return mapSeeded(workers, n, func(i int) int64 {
+		return DeriveSeed(root, i)
+	}, fn)
 }
 
 // SplitMix64 constants (Steele, Lea & Flood, OOPSLA 2014): the additive

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
 // Handler is a unit of simulated work executed at its scheduled virtual time.
@@ -74,6 +76,10 @@ type Engine struct {
 	// processed counts executed events, exposed for tests and for guarding
 	// against runaway simulations.
 	processed uint64
+	// budget, when non-zero, is the watchdog cap on total processed events;
+	// exhausted latches once Run refuses to cross it.
+	budget    uint64
+	exhausted bool
 }
 
 // Now returns the current virtual time.
@@ -113,13 +119,45 @@ func (e *Engine) After(delay time.Duration, fn Handler) error {
 // Stop halts the run loop after the currently executing handler returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetEventBudget arms the watchdog: once n events in total have been
+// processed, Run and RunAll stop executing and BudgetExhausted latches true.
+// A non-terminating fault scenario is thereby cancelled at a deterministic
+// point (the budget counts events, not wall time) instead of hanging the
+// trial. n = 0 disarms the watchdog.
+func (e *Engine) SetEventBudget(n uint64) {
+	e.budget = n
+	e.exhausted = false
+}
+
+// BudgetExhausted reports whether a run was cancelled by the event budget.
+func (e *Engine) BudgetExhausted() bool { return e.exhausted }
+
+// BudgetErr returns nil, or the watchdog cancellation as an error wrapping
+// checkpoint.ErrBudget so supervised runners journal the trial as exhausted
+// rather than quarantined.
+func (e *Engine) BudgetErr() error {
+	if !e.exhausted {
+		return nil
+	}
+	return fmt.Errorf("%w: event budget %d hit at t=%v with %d pending",
+		checkpoint.ErrBudget, e.budget, e.now, len(e.queue))
+}
+
+// overBudget checks (and latches) the watchdog before each event.
+func (e *Engine) overBudget() bool {
+	if e.budget > 0 && e.processed >= e.budget {
+		e.exhausted = true
+	}
+	return e.exhausted
+}
+
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the virtual clock passes until. Events scheduled exactly at
 // until still run. It returns the number of events processed by this call.
 func (e *Engine) Run(until time.Duration) uint64 {
 	start := e.processed
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for len(e.queue) > 0 && !e.stopped && !e.overBudget() {
 		next := e.queue[0]
 		if next.at > until {
 			break
@@ -130,8 +168,9 @@ func (e *Engine) Run(until time.Duration) uint64 {
 		next.fn(e.now)
 	}
 	// Advance the clock to the horizon even if the queue drained early, so
-	// repeated Run calls observe monotonic time.
-	if !e.stopped && e.now < until {
+	// repeated Run calls observe monotonic time. An exhausted run stays at
+	// the cancellation point: it did not actually reach the horizon.
+	if !e.stopped && !e.exhausted && e.now < until {
 		e.now = until
 	}
 	return e.processed - start
@@ -143,7 +182,7 @@ func (e *Engine) Run(until time.Duration) uint64 {
 func (e *Engine) RunAll(maxEvents uint64) error {
 	e.stopped = false
 	var n uint64
-	for len(e.queue) > 0 && !e.stopped {
+	for len(e.queue) > 0 && !e.stopped && !e.overBudget() {
 		if n >= maxEvents {
 			return fmt.Errorf("sim: event cap %d reached at t=%v with %d pending", maxEvents, e.now, len(e.queue))
 		}

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Kill/resume harness for the crash-safety layer (DESIGN.md §11).
+#
+# Proves, against the built CLI, the three guarantees `make crash` gates on:
+#   1. resume determinism — a checkpointed `experiment all` killed at an
+#      experiment boundary (plus a half-written tail) resumes byte-identical
+#      to the uninterrupted run, at workers 1 and 8;
+#   2. graceful degradation — an injected non-terminating scenario (a tiny
+#      -stepbudget) exits with the distinct budget-exhausted code (4) in
+#      degrade mode and aborts (1) under -onfault fail, journal intact
+#      either way;
+#   3. decoder hardening — short fuzz smokes over the ckpt.v1 decoder and
+#      the hardened snapshot loader.
+set -eu
+
+GO=${GO:-go}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "crash-harness: building partition"
+$GO build -o "$work/partition" ./cmd/partition
+
+echo "crash-harness: uninterrupted checkpointed run (workers 8)"
+"$work/partition" experiment all -checkpoint "$work/ckpt" -workers 8 \
+	> "$work/clean.txt" 2> "$work/clean.err"
+journal=$(ls "$work"/ckpt/*.ckpt)
+"$work/partition" experiment all > "$work/plain.txt"
+cmp -s "$work/clean.txt" "$work/plain.txt" || {
+	echo "crash-harness: FAIL: checkpointed output diverged from plain run"; exit 1; }
+
+for keep in 3 11; do
+	for workers in 1 8; do
+		echo "crash-harness: kill after $keep experiments, resume at workers=$workers"
+		mkdir -p "$work/killed$keep$workers"
+		killed="$work/killed$keep$workers/$(basename "$journal")"
+		# Keep the header plus $keep records, then a 40-byte fragment of the
+		# next line — the on-disk shape a SIGKILL mid-append leaves.
+		head -n $((keep + 1)) "$journal" > "$killed"
+		tail -n +$((keep + 2)) "$journal" | head -c 40 >> "$killed"
+		"$work/partition" experiment all -checkpoint "$work/killed$keep$workers" \
+			-resume -workers "$workers" > "$work/resumed.txt" 2> "$work/resumed.err"
+		cmp -s "$work/resumed.txt" "$work/clean.txt" || {
+			echo "crash-harness: FAIL: resumed output diverged (keep=$keep workers=$workers)"
+			exit 1; }
+		grep -q "replayed $keep completed experiments" "$work/resumed.err" || {
+			echo "crash-harness: FAIL: expected $keep replayed experiments"
+			cat "$work/resumed.err"; exit 1; }
+	done
+done
+
+echo "crash-harness: injected non-terminating scenario (degrade mode)"
+set +e
+"$work/partition" experiment all -checkpoint "$work/budget" -stepbudget 5 -workers 8 \
+	> /dev/null 2> "$work/budget.err"
+code=$?
+set -e
+[ "$code" -eq 4 ] || {
+	echo "crash-harness: FAIL: budget-exhausted run exited $code, want 4"
+	cat "$work/budget.err"; exit 1; }
+grep -q "exhausted" "$work/budget.err" || {
+	echo "crash-harness: FAIL: no exhausted report on stderr"; exit 1; }
+[ -s "$work"/budget/*.ckpt ] || {
+	echo "crash-harness: FAIL: degraded run left no journal"; exit 1; }
+
+echo "crash-harness: injected non-terminating scenario (-onfault fail)"
+set +e
+"$work/partition" experiment all -checkpoint "$work/failfast" -stepbudget 5 -onfault fail \
+	-workers 8 > /dev/null 2> "$work/failfast.err"
+code=$?
+set -e
+[ "$code" -eq 1 ] || {
+	echo "crash-harness: FAIL: fail-fast run exited $code, want 1"; exit 1; }
+[ -s "$work"/failfast/*.ckpt ] || {
+	echo "crash-harness: FAIL: fail-fast run left no journal"; exit 1; }
+
+echo "crash-harness: fuzz smokes (ckpt.v1 decoder, journal reader, snapshot loader)"
+$GO test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 5s ./internal/checkpoint/ > /dev/null
+$GO test -run '^$' -fuzz '^FuzzReadJournal$' -fuzztime 5s ./internal/checkpoint/ > /dev/null
+$GO test -run '^$' -fuzz '^FuzzReadFramed$' -fuzztime 5s ./internal/crawler/ > /dev/null
+
+echo "crash-harness: PASS"
