@@ -8,9 +8,10 @@
 #   make benchjson  — machine-readable sequential-vs-parallel report
 #   make benchobs   — observability overhead gate (DESIGN.md §9, ≤5%)
 #   make benchckpt  — checkpoint overhead gate (DESIGN.md §11, ≤5%)
+#   make benchsoa   — structure-of-arrays speedup gate (DESIGN.md §12, ≥3x)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck crash bench benchjson benchobs benchckpt clean
+.PHONY: all build vet lint test race check ci fmtcheck crash bench benchjson benchobs benchckpt benchsoa clean
 
 all: check
 
@@ -56,7 +57,7 @@ crash:
 # plus formatting cleanliness and the kill/resume harness.
 ci: check fmtcheck crash
 
-bench: benchobs benchckpt
+bench: benchobs benchckpt benchsoa
 	$(GO) test -bench=. -benchmem ./...
 
 # benchjson regenerates BENCH_parallel.json: ns/op for the sequential vs
@@ -75,6 +76,13 @@ benchobs:
 # path.
 benchckpt:
 	$(GO) run ./cmd/benchjson -checkpoint -out BENCH_checkpoint.json
+
+# benchsoa regenerates BENCH_soa.json and enforces the DESIGN.md §12 gate:
+# the structure-of-arrays gridsim and gossip hot paths must hold a 3x
+# speedup over the ns/op committed before the rewrite and stay under their
+# allocs/op ceilings.
+benchsoa:
+	$(GO) run ./cmd/benchjson -soa -out BENCH_soa.json
 
 clean:
 	$(GO) clean ./...

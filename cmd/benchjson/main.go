@@ -9,6 +9,7 @@
 //	benchjson [-workers N] [-out BENCH_parallel.json]
 //	benchjson -obs [-maxoverhead 5] [-out BENCH_obs.json]
 //	benchjson -checkpoint [-maxoverhead 5] [-out BENCH_checkpoint.json]
+//	benchjson -soa [-minspeedup 3] [-rounds 8] [-out BENCH_soa.json]
 //
 // With -out "-" the report goes to stdout. The -obs mode measures the
 // observability layer instead: each hot workload runs with instrumentation
@@ -18,6 +19,19 @@
 // same off/on discipline to the crash-safety layer (DESIGN.md §11): the
 // grid-trial ensemble with and without a write-ahead journal on the trial
 // boundary, gated the same way.
+//
+// The -soa mode gates the structure-of-arrays rewrite (DESIGN.md §12): it
+// re-measures the gridsim_trials and gossip_propagation hot paths as
+// min-of-N rounds (virtualised hosts drift between load phases, so only a
+// minimum over many short rounds is a stable estimate), compares them
+// against the ns/op committed in BENCH_parallel.json and BENCH_obs.json
+// before the rewrite, and fails unless every workload holds -minspeedup and
+// stays under its allocs/op ceiling — the win cannot silently erode.
+//
+// In the default mode any pair whose parallel speedup falls below 1.0 is
+// flagged in the summary: on few-core hosts the worker fan-out of the
+// memory-bound figure6 panels can cost more than it buys (see
+// EXPERIMENTS.md), and the flag keeps that regression visible in every run.
 package main
 
 import (
@@ -69,7 +83,12 @@ func run(args []string) error {
 	out := fs.String("out", "", "output path (\"-\" = stdout; default BENCH_parallel.json, or BENCH_obs.json with -obs)")
 	obsMode := fs.Bool("obs", false, "measure instrumentation overhead (off vs on) instead of the parallel pairs")
 	ckptMode := fs.Bool("checkpoint", false, "measure checkpoint-journal overhead (off vs on) instead of the parallel pairs")
+	soaMode := fs.Bool("soa", false, "gate the SoA hot paths against the pre-rewrite baselines")
 	maxOverhead := fs.Float64("maxoverhead", 5, "with -obs/-checkpoint: fail when any workload's overhead exceeds this percentage")
+	minSpeedup := fs.Float64("minspeedup", 3, "with -soa: fail when any workload speeds up less than this over its baseline")
+	rounds := fs.Int("rounds", 8, "with -soa: measurement rounds per workload (minimum taken)")
+	baseParallel := fs.String("baseparallel", "BENCH_parallel.json", "with -soa: committed baseline for gridsim_trials")
+	baseObs := fs.String("baseobs", "BENCH_obs.json", "with -soa: committed baseline for gossip_propagation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +107,12 @@ func run(args []string) error {
 			*out = "BENCH_checkpoint.json"
 		}
 		return runCheckpoint(w, *maxOverhead, *out)
+	}
+	if *soaMode {
+		if *out == "" {
+			*out = "BENCH_soa.json"
+		}
+		return runSoA(*minSpeedup, *rounds, *baseParallel, *baseObs, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_parallel.json"
@@ -178,6 +203,15 @@ func run(args []string) error {
 		if par.NsPerOp() > 0 {
 			bench.Speedup = float64(seq.NsPerOp()) / float64(par.NsPerOp())
 		}
+		// A speedup below 1.0 means the worker fan-out costs more than it
+		// buys on this host — keep that visible in every run's summary (the
+		// memory-bound figure6 panels regress this way on few-core boxes).
+		flag := ""
+		if bench.Speedup < 1.0 {
+			flag = "  ** REGRESSION: parallel slower than sequential **"
+		}
+		fmt.Fprintf(os.Stderr, "%s: seq %s, par %s, speedup %.2fx%s\n",
+			p.name, time.Duration(bench.SeqNsPerOp), time.Duration(bench.ParNsPerOp), bench.Speedup, flag)
 		report.Benches = append(report.Benches, bench)
 	}
 
@@ -350,6 +384,160 @@ func runCheckpoint(w int, maxOverhead float64, out string) error {
 		return fmt.Errorf("checkpoint overhead above %.1f%%: %.1f%%", maxOverhead, bench.OverheadPct)
 	}
 	return nil
+}
+
+// SoAReport is the -soa document: each hot path re-measured after the
+// structure-of-arrays rewrite against its committed pre-rewrite baseline.
+type SoAReport struct {
+	// MinSpeedup is the gate this run was held to.
+	MinSpeedup float64 `json:"min_speedup"`
+	// Rounds is how many measurement rounds fed each minimum.
+	Rounds int `json:"rounds"`
+	// Benches holds one entry per gated workload.
+	Benches []SoABench `json:"benches"`
+}
+
+// SoABench is one workload's measurement against its baseline.
+type SoABench struct {
+	Name            string  `json:"name"`
+	BaselineNsPerOp int64   `json:"baseline_ns_per_op"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	MaxAllocsPerOp  int64   `json:"max_allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+}
+
+// baselineNs pulls one workload's committed ns/op out of a prior benchjson
+// report (either document shape: seq_ns_per_op or off_ns_per_op).
+func baselineNs(path, name string) (int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Benches []struct {
+			Name       string `json:"name"`
+			SeqNsPerOp int64  `json:"seq_ns_per_op"`
+			OffNsPerOp int64  `json:"off_ns_per_op"`
+		} `json:"benches"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, b := range doc.Benches {
+		if b.Name == name {
+			if b.SeqNsPerOp > 0 {
+				return b.SeqNsPerOp, nil
+			}
+			return b.OffNsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no workload %q", path, name)
+}
+
+// runSoA gates the structure-of-arrays rewrite: gridsim_trials (sequential
+// grid-trial ensemble) and gossip_propagation (150-node diffusion for eight
+// virtual hours) re-measured as min-of-rounds and held to minSpeedup over
+// the ns/op committed before the rewrite, plus an allocs/op ceiling each.
+// Minute-scale load phases on virtualised hosts swing single readings by
+// ±35%, so each workload runs `rounds` short rounds and the minimum is the
+// estimate — the same discipline as the obs gate's interleaving.
+func runSoA(minSpeedup float64, rounds int, baseParallel, baseObs, out string) error {
+	gridBase, err := baselineNs(baseParallel, "gridsim_trials")
+	if err != nil {
+		return err
+	}
+	gossipBase, err := baselineNs(baseObs, "gossip_propagation")
+	if err != nil {
+		return err
+	}
+
+	gridCfg := gridsim.Config{
+		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
+		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
+		BoundaryRadius: 5, Seed: 1,
+	}
+	gridTrials := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gridsim.RunTrials(gridCfg, gridsim.TrialsConfig{
+				Trials: 16, Blocks: 20, Workers: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	gossip := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := netsim.FromConfig(netsim.Config{
+				Nodes: 150, Seed: 7,
+				Gossip: p2p.Config{FailureRate: 0.10},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.StartMining()
+			sim.Run(8 * time.Hour)
+		}
+	}
+
+	report := SoAReport{MinSpeedup: minSpeedup, Rounds: rounds}
+	var failed []string
+	for _, p := range []struct {
+		name      string
+		baseline  int64
+		maxAllocs int64
+		fn        func(b *testing.B)
+	}{
+		{"gridsim_trials", gridBase, 600, gridTrials},
+		{"gossip_propagation", gossipBase, 12000, gossip},
+	} {
+		fmt.Fprintf(os.Stderr, "measuring %s (min of %d rounds)...\n", p.name, rounds)
+		ns, allocs, bytes := minOfRounds(p.fn, rounds)
+		bench := SoABench{
+			Name:            p.name,
+			BaselineNsPerOp: p.baseline,
+			NsPerOp:         ns,
+			AllocsPerOp:     allocs,
+			MaxAllocsPerOp:  p.maxAllocs,
+			BytesPerOp:      bytes,
+		}
+		if ns > 0 {
+			bench.Speedup = float64(p.baseline) / float64(ns)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s vs baseline %s — %.2fx, %d allocs/op (ceiling %d)\n",
+			p.name, time.Duration(ns), time.Duration(p.baseline), bench.Speedup, allocs, p.maxAllocs)
+		if bench.Speedup < minSpeedup {
+			failed = append(failed, fmt.Sprintf("%s: %.2fx < %.1fx", p.name, bench.Speedup, minSpeedup))
+		}
+		if allocs > p.maxAllocs {
+			failed = append(failed, fmt.Sprintf("%s: %d allocs/op > ceiling %d", p.name, allocs, p.maxAllocs))
+		}
+		report.Benches = append(report.Benches, bench)
+	}
+	if err := writeJSON(out, report); err != nil {
+		return err
+	}
+	if failed != nil {
+		return fmt.Errorf("SoA gate failed: %v", failed)
+	}
+	return nil
+}
+
+// minOfRounds measures a benchmark `rounds` times and returns the fastest
+// ns/op with that round's allocation counts (allocations are deterministic
+// across rounds; timing is not).
+func minOfRounds(fn func(b *testing.B), rounds int) (ns, allocs, bytes int64) {
+	ns = int64(1) << 62
+	for i := 0; i < rounds; i++ {
+		r := testing.Benchmark(fn)
+		if got := r.NsPerOp(); got < ns {
+			ns, allocs, bytes = got, r.AllocsPerOp(), r.AllocedBytesPerOp()
+		}
+	}
+	return ns, allocs, bytes
 }
 
 // interleavedMinNsPerOp measures two benchmarks in alternating rounds and

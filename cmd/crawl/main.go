@@ -9,10 +9,16 @@
 // given probability and are retried with capped exponential backoff and
 // deterministic jitter on the simulation clock.
 //
+// With -writepop the synthetic population behind the crawl is archived in
+// the columnar pop.v1 format (one checksum frame per column, DESIGN.md §12);
+// -verifypop reads such an archive back, reporting recovered columns and any
+// truncation, and exits.
+//
 // Usage:
 //
 //	crawl [-nodes N] [-hours H] [-interval MINUTES] [-seed N]
 //	      [-framed] [-flaky RATE] [-retries N] [-o FILE]
+//	      [-writepop FILE] [-verifypop FILE]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/dataset"
 )
 
 func main() {
@@ -42,11 +49,32 @@ func run() error {
 	flaky := flag.Float64("flaky", 0, "per-probe failure probability (0 disables)")
 	retries := flag.Int("retries", 3, "max probes per flaky peer per sample")
 	out := flag.String("o", "-", "output path (- for stdout)")
+	writepop := flag.String("writepop", "", "also archive the synthetic population as a columnar pop.v1 file")
+	verifypop := flag.String("verifypop", "", "read back a pop.v1 archive, report damage, and exit")
 	flag.Parse()
+
+	if *verifypop != "" {
+		return verifyPopulation(*verifypop)
+	}
 
 	study, err := core.New(*seed)
 	if err != nil {
 		return err
+	}
+	if *writepop != "" {
+		f, err := os.Create(*writepop)
+		if err != nil {
+			return err
+		}
+		if err := study.WritePopulation(f); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crawl: archived %d-node population to %s (pop.v1)\n",
+			len(study.Pop.Nodes), *writepop)
 	}
 	sim, err := study.NewSimFromPopulation(*nodes, *seed)
 	if err != nil {
@@ -86,6 +114,44 @@ func run() error {
 	if failed, recovered, exhausted := c.RetryStats(); failed > 0 {
 		fmt.Fprintf(os.Stderr, "crawl: %d probe failures, %d peers recovered by retry, %d exhausted\n",
 			failed, recovered, exhausted)
+	}
+	return nil
+}
+
+// verifyPopulation streams a pop.v1 archive column by column, then attempts
+// full reassembly, reporting what survived. Exit is non-zero only for hard
+// errors (bad header or schema) or an archive too damaged to assemble.
+func verifyPopulation(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cr, err := dataset.NewPopColumnReader(f)
+	if err != nil {
+		return err
+	}
+	cols := 0
+	for {
+		if _, _, ok := cr.Next(); !ok {
+			break
+		}
+		cols++
+	}
+	fmt.Fprintf(os.Stderr, "crawl: %s: %d ASes, %d nodes, %d/%d columns intact\n",
+		path, cr.ASes(), cr.Nodes(), cols, len(cr.Columns()))
+	if cr.Truncated() {
+		fmt.Fprintf(os.Stderr, "crawl: %s: archive truncated — intact columns form a valid prefix\n", path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	pop, truncated, err := dataset.ReadFramedPopulation(f)
+	if err != nil {
+		return fmt.Errorf("reassemble %s: %w", path, err)
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "crawl: %s: reassembled %d nodes despite trailing damage\n", path, len(pop.Nodes))
 	}
 	return nil
 }

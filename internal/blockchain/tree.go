@@ -55,26 +55,32 @@ func (r Reorg) ReversedTxs() []TxID {
 // Bitcoin's first-seen rule.
 type Tree struct {
 	blocks map[Hash]*Block
-	// children maps a block hash to the hashes of its known children, used
-	// for branch enumeration.
-	children map[Hash][]Hash
+	// parents is the flat log of hashes that have at least one child,
+	// appended per insertion. Leaf enumeration (Tips) derives the parent
+	// set from it on demand; keeping the hot Add path to plain appends
+	// instead of a map-of-slices insert is part of the allocation
+	// discipline of DESIGN.md §12.
+	parents []Hash
 	// arrival records first-seen order for tie-breaking.
 	arrival map[Hash]int
 	nextSeq int
 	tip     *Block
 	genesis *Block
+	// extend is the reused result for the common tip-extension case of Add
+	// (see Add's contract on result lifetime).
+	extend      Reorg
+	extendedBuf [1]*Block
 }
 
 // NewTree creates a tree rooted at the shared genesis block.
 func NewTree() *Tree {
 	g := Genesis()
 	t := &Tree{
-		blocks:   map[Hash]*Block{g.Hash: g},
-		children: map[Hash][]Hash{},
-		arrival:  map[Hash]int{g.Hash: 0},
-		nextSeq:  1,
-		tip:      g,
-		genesis:  g,
+		blocks:  map[Hash]*Block{g.Hash: g},
+		arrival: map[Hash]int{g.Hash: 0},
+		nextSeq: 1,
+		tip:     g,
+		genesis: g,
 	}
 	return t
 }
@@ -108,6 +114,12 @@ func (t *Tree) Has(h Hash) bool {
 // (the reorg is empty-adopted-only when the new block simply extends the
 // tip). Duplicate and orphan insertions return ErrDuplicate and
 // ErrUnknownParent respectively.
+//
+// The returned *Reorg is valid until the next Add on the same tree: the
+// plain tip-extension case — the overwhelming majority under normal
+// propagation — reuses a per-tree value so accepting a block allocates
+// nothing. Callers that need to retain one (none in this repository do)
+// must copy it.
 func (t *Tree) Add(b *Block) (*Reorg, error) {
 	if b == nil {
 		return nil, errors.New("blockchain: nil block")
@@ -123,7 +135,7 @@ func (t *Tree) Add(b *Block) (*Reorg, error) {
 		return nil, fmt.Errorf("blockchain: block %v has height %d, parent height %d", b.Hash, b.Height, parent.Height)
 	}
 	t.blocks[b.Hash] = b
-	t.children[b.Parent] = append(t.children[b.Parent], b.Hash)
+	t.parents = append(t.parents, b.Parent)
 	t.arrival[b.Hash] = t.nextSeq
 	t.nextSeq++
 
@@ -135,7 +147,9 @@ func (t *Tree) Add(b *Block) (*Reorg, error) {
 	old := t.tip
 	t.tip = b
 	if b.Parent == old.Hash {
-		return &Reorg{Adopted: []*Block{b}}, nil
+		t.extendedBuf[0] = b
+		t.extend = Reorg{Adopted: t.extendedBuf[:1]}
+		return &t.extend, nil
 	}
 	reorg := t.reorgPath(old, b)
 	return reorg, nil
@@ -200,9 +214,13 @@ func (t *Tree) AtHeight(h int) (*Block, bool) {
 // Tips returns all leaf blocks (blocks with no children), sorted by height
 // descending then by arrival order. Multiple tips indicate a live fork.
 func (t *Tree) Tips() []*Block {
+	hasChild := make(map[Hash]bool, len(t.parents))
+	for _, p := range t.parents {
+		hasChild[p] = true
+	}
 	var tips []*Block
 	for h, b := range t.blocks {
-		if len(t.children[h]) == 0 {
+		if !hasChild[h] {
 			tips = append(tips, b)
 		}
 	}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -210,6 +211,13 @@ func (s *Study) Snapshot() obs.Snapshot {
 // Pools returns the Table IV mining roster.
 func (s *Study) Pools() []mining.Pool {
 	return dataset.TableIV()
+}
+
+// WritePopulation streams the study's synthetic population in the columnar
+// pop.v1 format (one checksum frame per column, DESIGN.md §12) — the
+// archival form of the Feb-28-2018 snapshot the study runs on.
+func (s *Study) WritePopulation(w io.Writer) error {
+	return dataset.WriteFramedPopulation(w, s.Pop)
 }
 
 // traceSeed derives per-experiment trace seeds from the study seed so that

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// mustTinyPopulation returns the shared generated population for framing
+// tests (memoised per run by Generate's determinism — seed 1 throughout).
+func mustTinyPopulation(t *testing.T) *Population {
+	t.Helper()
+	pop, err := Generate(1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return pop
+}
+
+// TestPopFramedRoundTrip proves write→read reproduces the generated
+// population exactly, topology and AS index included.
+func TestPopFramedRoundTrip(t *testing.T) {
+	pop := mustTinyPopulation(t)
+	var buf bytes.Buffer
+	if err := WriteFramedPopulation(&buf, pop); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, truncated, err := ReadFramedPopulation(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if truncated {
+		t.Fatal("clean file reported truncated")
+	}
+	if !reflect.DeepEqual(got.Nodes, pop.Nodes) {
+		t.Fatal("node records differ after round trip")
+	}
+	if !reflect.DeepEqual(got.ASRows, pop.ASRows) {
+		t.Fatal("AS rows differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Topo, pop.Topo) {
+		t.Fatal("rebuilt topology differs after round trip")
+	}
+	if !reflect.DeepEqual(got.asIndex, pop.asIndex) {
+		t.Fatal("AS index differs after round trip")
+	}
+}
+
+// TestPopFramedStreamsColumns checks the streaming reader yields every column
+// in canonical order and that a consumer can stop after the column it wants.
+func TestPopFramedStreamsColumns(t *testing.T) {
+	pop := mustTinyPopulation(t)
+	var buf bytes.Buffer
+	if err := WriteFramedPopulation(&buf, pop); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	cr, err := NewPopColumnReader(&buf)
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if cr.Nodes() != len(pop.Nodes) || cr.ASes() != len(pop.ASRows) {
+		t.Fatalf("header counts %d/%d, want %d/%d", cr.ASes(), cr.Nodes(), len(pop.ASRows), len(pop.Nodes))
+	}
+	if !reflect.DeepEqual(cr.Columns(), popColumnOrder) {
+		t.Fatalf("header columns %v", cr.Columns())
+	}
+	var seen []string
+	for {
+		name, values, ok := cr.Next()
+		if !ok {
+			break
+		}
+		if len(values) == 0 {
+			t.Fatalf("column %s has empty values", name)
+		}
+		seen = append(seen, name)
+	}
+	if cr.Truncated() {
+		t.Fatal("clean stream reported truncated")
+	}
+	if !slices.Equal(seen, popColumnOrder) {
+		t.Fatalf("streamed columns %v", seen)
+	}
+}
+
+// popLines splits an encoded pop.v1 file into its frame lines (trailing
+// newline stripped from the final split).
+func popLines(t *testing.T, pop *Population) [][]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFramedPopulation(&buf, pop); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw := buf.Bytes()
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if len(lines) != 1+len(popColumnOrder) {
+		t.Fatalf("encoded %d lines, want %d", len(lines), 1+len(popColumnOrder))
+	}
+	return lines
+}
+
+// TestPopFramedTruncationRecoversPrefix damages the file at each column in
+// turn and checks the streaming reader recovers exactly the columns before
+// the damage — crawl.v1 semantics at column granularity.
+func TestPopFramedTruncationRecoversPrefix(t *testing.T) {
+	pop := mustTinyPopulation(t)
+	lines := popLines(t, pop)
+	for cut := 0; cut < len(popColumnOrder); cut += 7 {
+		var damaged bytes.Buffer
+		for i := 0; i <= cut; i++ {
+			damaged.Write(lines[i])
+			damaged.WriteByte('\n')
+		}
+		// Half-written next frame: no newline, so it never counts.
+		damaged.Write(lines[cut+1][:len(lines[cut+1])/2])
+
+		cr, err := NewPopColumnReader(bytes.NewReader(damaged.Bytes()))
+		if err != nil {
+			t.Fatalf("cut %d: reader: %v", cut, err)
+		}
+		var seen []string
+		for {
+			name, _, ok := cr.Next()
+			if !ok {
+				break
+			}
+			seen = append(seen, name)
+		}
+		if !cr.Truncated() {
+			t.Fatalf("cut %d: truncation not reported", cut)
+		}
+		if !slices.Equal(seen, popColumnOrder[:cut]) {
+			t.Fatalf("cut %d: recovered %v", cut, seen)
+		}
+
+		// The high-level reader cannot assemble without the lost columns.
+		_, truncated, err := ReadFramedPopulation(bytes.NewReader(damaged.Bytes()))
+		if !truncated {
+			t.Fatalf("cut %d: ReadFramedPopulation did not report truncation", cut)
+		}
+		if !errors.Is(err, ErrPopIncomplete) {
+			t.Fatalf("cut %d: err = %v, want ErrPopIncomplete", cut, err)
+		}
+	}
+}
+
+// TestPopFramedBitFlipDropsTail flips one payload bit inside a mid-file
+// column frame; the checksum catches it and the stream truncates there.
+func TestPopFramedBitFlipDropsTail(t *testing.T) {
+	pop := mustTinyPopulation(t)
+	lines := popLines(t, pop)
+	const victim = 5 // the as_prefixes column frame (line 0 is the header)
+	flipped := append([]byte(nil), lines[victim]...)
+	flipped[len(flipped)/2] ^= 0x08
+	var damaged bytes.Buffer
+	for i, line := range lines {
+		if i == victim {
+			line = flipped
+		}
+		damaged.Write(line)
+		damaged.WriteByte('\n')
+	}
+	cr, err := NewPopColumnReader(bytes.NewReader(damaged.Bytes()))
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	var seen []string
+	for {
+		name, _, ok := cr.Next()
+		if !ok {
+			break
+		}
+		seen = append(seen, name)
+	}
+	if !cr.Truncated() {
+		t.Fatal("bit flip not reported as truncation")
+	}
+	if !slices.Equal(seen, popColumnOrder[:victim-1]) {
+		t.Fatalf("recovered %v, want the %d-column prefix", seen, victim-1)
+	}
+}
+
+// TestPopFramedTrailingGarbage checks damage after the last column still
+// yields the complete population, flagged truncated.
+func TestPopFramedTrailingGarbage(t *testing.T) {
+	pop := mustTinyPopulation(t)
+	var buf bytes.Buffer
+	if err := WriteFramedPopulation(&buf, pop); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf.WriteString(`{"sum":"00000000","p":{"c":"junk","v":[]}}` + "\n")
+	got, truncated, err := ReadFramedPopulation(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !truncated {
+		t.Fatal("trailing garbage not reported as truncation")
+	}
+	if !reflect.DeepEqual(got.Nodes, pop.Nodes) {
+		t.Fatal("population damaged by trailing garbage")
+	}
+}
+
+// TestPopFramedHeaderErrors checks the hard-error cases: empty input, wrong
+// schema, garbage header.
+func TestPopFramedHeaderErrors(t *testing.T) {
+	if _, _, err := ReadFramedPopulation(bytes.NewReader(nil)); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("empty input: %v", err)
+	}
+	hdr, err := checkpoint.EncodeFrame([]byte(`{"schema":"pop.v9","ases":0,"nodes":0,"columns":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFramedPopulation(bytes.NewReader(hdr)); !errors.Is(err, ErrPopSchema) {
+		t.Fatalf("wrong schema: %v", err)
+	}
+	if _, _, err := ReadFramedPopulation(bytes.NewReader([]byte("not a frame\n"))); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("garbage header: %v", err)
+	}
+}

@@ -10,12 +10,18 @@
 // the number of communication steps per block interval is Rspan · √N — how
 // many times information can cross the network between blocks. Rspan = 2.0
 // "is a good target for blockchain synchronization".
+//
+// The state is held structure-of-arrays (DESIGN.md §12): parallel flat
+// slices per cell (fork, height, link) and per fork (parent, base, tip,
+// taint), a precomputed attack-region bitset, and a flat neighbor cache.
+// Grid.Reset reuses every backing arena, so a Monte-Carlo ensemble pays
+// near-zero steady-state allocations per trial while remaining
+// byte-identical to the original array-of-structs implementation.
 package gridsim
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 	"time"
 
@@ -132,24 +138,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// inRegion reports whether cell index i lies within the attack boundary.
-func (g *Grid) inRegion(i int) bool {
-	size := g.cfg.Size
-	row, col := i/size, i%size
-	dr, dc := row-g.cfg.AttackerRow, col-g.cfg.AttackerCol
-	if dr < 0 {
-		dr = -dr
-	}
-	if dc < 0 {
-		dc = -dc
-	}
-	d := dr
-	if dc > d {
-		d = dc
-	}
-	return d <= g.cfg.BoundaryRadius
-}
-
 // boundaryActive reports whether the disruption window covers the current
 // step.
 func (g *Grid) boundaryActive() bool {
@@ -162,34 +150,40 @@ func (g *Grid) boundaryActive() bool {
 	return g.cfg.BoundaryUntil == 0 || g.step < g.cfg.BoundaryUntil
 }
 
-// cell is one grid node's chain view: which fork it follows, that fork's
-// height at this node, and the 64-bit MD5-linked hash of its chain (the
-// paper's per-node internal error check).
-type cell struct {
-	fork   ForkID
-	height int
-	link   blockchain.Hash
-}
-
-// forkInfo tracks one branch's global state.
-type forkInfo struct {
-	id     ForkID
-	parent ForkID
-	// baseHeight is the height at which it diverged from its parent.
-	baseHeight int
-	// tipHeight and tipLink are the branch's best block.
-	tipHeight int
-	tipLink   blockchain.Hash
-	// counterfeit marks attacker-produced branches.
-	counterfeit bool
-}
-
-// Grid is a running grid simulation.
+// Grid is a running grid simulation. All mutable state lives in flat
+// parallel slices so the gossip loop streams contiguous memory, and every
+// slice doubles as an arena that Reset reuses across trials.
 type Grid struct {
-	cfg           Config
-	rng           *rand.Rand
-	cells         []cell
-	forks         []*forkInfo
+	cfg Config
+	// rng is the inlined replica of rand.New(rand.NewSource(seed)) — a
+	// value field, so hot-loop draws involve no pointer chase and no
+	// interface dispatch, and reseeding in place costs no allocation.
+	rng stats.Fast
+
+	// Per-cell state (index = row*Size + col): the fork the cell follows,
+	// that fork's height at this cell, and the 64-bit MD5-linked hash of
+	// its chain (the paper's per-node internal error check).
+	fork   []int32
+	height []int32
+	link   []blockchain.Hash
+
+	// Per-fork state (index = ForkID). fTainted[id] caches whether the
+	// fork is counterfeit or descends from one; it is fixed at fork birth
+	// (parent and counterfeit never change), turning the old
+	// ancestry-walking onCounterfeit into one slice load.
+	fParent      []int32
+	fBase        []int32
+	fTip         []int32
+	fTipLink     []blockchain.Hash
+	fCounterfeit []bool
+	fTainted     []bool
+
+	// region is a bitset over cells: bit i set when cell i lies within the
+	// attack boundary (Chebyshev radius around the attacker cell),
+	// precomputed so the hot loop never recomputes div/mod geometry.
+	region      []uint64
+	attackerIdx int
+
 	step          int
 	stepsPerBlock int
 	// blocksMined counts total block events (honest + attacker).
@@ -199,15 +193,33 @@ type Grid struct {
 	// nbrs/nbrOff cache every cell's Moore neighborhood in one flat backing
 	// slice: cell i's neighbors are nbrs[nbrOff[i]:nbrOff[i+1]]. One
 	// allocation for the whole grid instead of one slice per cell, and the
-	// gossip hot loop walks contiguous memory.
-	nbrs   []int
+	// gossip hot loop walks contiguous memory. cross parallels nbrs:
+	// cross[e] is 1 when edge e straddles the attack boundary, so the hot
+	// loop's disruption check is a single byte load per contact.
+	nbrs   []int32
 	nbrOff []int32
+	cross  []uint8
+	// rejMax[i] is the Int31n rejection threshold for cell i's neighbor
+	// count, or -1 when the count is a power of two (maskable). Precomputed
+	// so the hot loop's neighbor pick composes directly on rng.Uint64 with
+	// no per-contact divide.
+	rejMax []int32
+	// failThresh is the integer form of the failure Bernoulli: the smallest
+	// 63-bit draw x with float64(x)/2^63 >= FailureRate, so the hot loop
+	// compares raw draws with no int-to-float conversion (see
+	// float01Threshold).
+	failThresh int64
 	// faults is the step-driven injector, nil when Config.Faults is the
-	// zero value — every fault check in the hot loop is gated on this nil
-	// check so the faultless path is untouched.
+	// zero value — the faultless hot loop contains no fault checks at all
+	// (communicate dispatches to a separate faulty variant).
 	faults *faults.GridInjector
 	// exhausted latches once Advance refuses to cross Config.StepBudget.
 	exhausted bool
+
+	// fcCounts/fcBuf back ForkCounts: per-fork follower tallies and the
+	// returned slice, reused call over call.
+	fcCounts []int32
+	fcBuf    []ForkCount
 
 	// Observability (DESIGN.md §9). obsOn gates fork-population tracking
 	// so the uninstrumented hot loop pays a single bool check per
@@ -226,34 +238,113 @@ type Grid struct {
 // New builds a grid simulation. All cells start on fork A at height 0 with
 // the same genesis link.
 func New(cfg Config) (*Grid, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	g := &Grid{}
+	if err := g.ResetConfig(cfg); err != nil {
 		return nil, err
 	}
-	n := cfg.Size * cfg.Size
-	genesis := blockchain.Genesis()
-	g := &Grid{
-		cfg:           cfg,
-		rng:           stats.NewRand(cfg.Seed),
-		cells:         make([]cell, n),
-		stepsPerBlock: int(math.Round(cfg.SpanRatio * float64(cfg.Size))),
+	return g, nil
+}
+
+// Reset restarts the grid from step zero under a new seed, reusing every
+// backing arena. It is byte-identical to New with the same configuration:
+// the pooled ensemble in RunTrials relies on Reset being indistinguishable
+// from a fresh grid.
+func (g *Grid) Reset(seed int64) error {
+	cfg := g.cfg
+	cfg.Seed = seed
+	return g.ResetConfig(cfg)
+}
+
+// ResetConfig restarts the grid in place under a full new configuration.
+// Arenas are reused whenever the grid shape allows: same Size keeps the
+// neighbor cache, and all per-cell and per-fork slices recycle their
+// backing arrays. Only the fault injector (rare, off the benchmark path)
+// and observer bindings are rebuilt per reset.
+func (g *Grid) ResetConfig(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
+	sameSize := g.cfg.Size == cfg.Size && g.nbrOff != nil
+	g.cfg = cfg
+	g.rng.Seed(cfg.Seed)
+	n := cfg.Size * cfg.Size
+	g.stepsPerBlock = int(math.Round(cfg.SpanRatio * float64(cfg.Size)))
 	if g.stepsPerBlock < 1 {
 		g.stepsPerBlock = 1
 	}
-	for i := range g.cells {
-		g.cells[i] = cell{fork: 0, height: 0, link: genesis.Hash}
-	}
-	g.forks = []*forkInfo{{id: 0, parent: -1, tipHeight: 0, tipLink: genesis.Hash}}
-	// Precompute the Moore neighborhoods once: neighbors() is the gossip
-	// hot path (one lookup per cell per step).
-	g.nbrs = make([]int, 0, n*8)
-	g.nbrOff = make([]int32, n+1)
+	g.step, g.blocksMined, g.forksEmerged = 0, 0, 0
+	g.exhausted = false
+
+	genesis := blockchain.Genesis()
+	g.fork = resizeI32(g.fork, n)
+	g.height = resizeI32(g.height, n)
+	g.link = resizeHash(g.link, n)
 	for i := 0; i < n; i++ {
-		g.nbrOff[i] = int32(len(g.nbrs))
-		g.nbrs = g.appendNeighbors(g.nbrs, i)
+		g.fork[i] = 0
+		g.height[i] = 0
+		g.link[i] = genesis.Hash
 	}
-	g.nbrOff[n] = int32(len(g.nbrs))
+	g.fParent = append(g.fParent[:0], -1)
+	g.fBase = append(g.fBase[:0], 0)
+	g.fTip = append(g.fTip[:0], 0)
+	g.fTipLink = append(g.fTipLink[:0], genesis.Hash)
+	g.fCounterfeit = append(g.fCounterfeit[:0], false)
+	g.fTainted = append(g.fTainted[:0], false)
+
+	if !sameSize {
+		g.nbrs = make([]int32, 0, n*8)
+		g.nbrOff = make([]int32, n+1)
+		for i := 0; i < n; i++ {
+			g.nbrOff[i] = int32(len(g.nbrs))
+			g.nbrs = g.appendNeighbors(g.nbrs, i)
+		}
+		g.nbrOff[n] = int32(len(g.nbrs))
+	}
+
+	g.attackerIdx = g.idx(cfg.AttackerRow, cfg.AttackerCol)
+	words := (n + 63) / 64
+	g.region = resizeU64(g.region, words)
+	for w := range g.region {
+		g.region[w] = 0
+	}
+	for i := 0; i < n; i++ {
+		row, col := i/cfg.Size, i%cfg.Size
+		dr, dc := row-cfg.AttackerRow, col-cfg.AttackerCol
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		d := dr
+		if dc > d {
+			d = dc
+		}
+		if d <= cfg.BoundaryRadius {
+			g.region[uint(i)>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	if cap(g.cross) >= len(g.nbrs) {
+		g.cross = g.cross[:len(g.nbrs)]
+	} else {
+		g.cross = make([]uint8, len(g.nbrs))
+	}
+	g.rejMax = resizeI32(g.rejMax, n)
+	for i := 0; i < n; i++ {
+		for e := g.nbrOff[i]; e < g.nbrOff[i+1]; e++ {
+			g.cross[e] = uint8(g.regionBit(i) ^ g.regionBit(int(g.nbrs[e])))
+		}
+		deg := g.nbrOff[i+1] - g.nbrOff[i]
+		if deg&(deg-1) == 0 {
+			g.rejMax[i] = -1
+		} else {
+			g.rejMax[i] = int32((1 << 31) - 1 - (1<<31)%uint32(deg))
+		}
+	}
+	g.failThresh = float01Threshold(cfg.FailureRate)
+
+	g.faults = nil
 	if cfg.Faults.Enabled() {
 		// Scenario durations are converted to steps through the paper's
 		// Tdelay = Tblock / (Rspan·√N), so one scenario means the same
@@ -261,18 +352,22 @@ func New(cfg Config) (*Grid, error) {
 		stepDur := mining.BlockInterval / time.Duration(g.stepsPerBlock)
 		exempt := -1
 		if cfg.AttackerShare > 0 {
-			exempt = g.idx(cfg.AttackerRow, cfg.AttackerCol)
+			exempt = g.attackerIdx
 		}
 		injector, err := faults.NewGridInjector(cfg.Faults,
 			parallel.DeriveSeed(cfg.Seed, faultsSeedSalt), n, stepDur, exempt, cfg.Obs)
 		if err != nil {
-			return nil, fmt.Errorf("gridsim: %w", err)
+			return fmt.Errorf("gridsim: %w", err)
 		}
 		g.faults = injector
 	}
+
+	g.obsOn = false
+	g.obsTrace, g.obsFlips, g.obsForkBirths, g.obsForkDeaths = nil, nil, nil, nil
+	g.obsHonestBlk, g.obsAttackerBlk = nil, nil
 	if o := cfg.Obs; o != nil && (o.Registry() != nil || o.Tracer() != nil) {
 		g.obsOn = true
-		g.forkPop = []int{n} // every cell starts on fork A
+		g.forkPop = append(g.forkPop[:0], n) // every cell starts on fork A
 		reg := o.Registry()
 		g.obsTrace = o.Tracer()
 		g.obsFlips = reg.Counter("gridsim.cell_flips")
@@ -281,7 +376,41 @@ func New(cfg Config) (*Grid, error) {
 		g.obsHonestBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "honest"))
 		g.obsAttackerBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "attacker"))
 	}
-	return g, nil
+	return nil
+}
+
+// resizeI32 returns a slice of length n, reusing s's backing array when it
+// is large enough.
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// resizeU64 returns a slice of length n, reusing s's backing array when it
+// is large enough.
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// resizeHash returns a slice of length n, reusing s's backing array when it
+// is large enough.
+func resizeHash(s []blockchain.Hash, n int) []blockchain.Hash {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]blockchain.Hash, n)
+}
+
+// regionBit returns 1 when cell i lies within the attack boundary.
+//
+//hot:path
+func (g *Grid) regionBit(i int) uint64 {
+	return g.region[uint(i)>>6] >> (uint(i) & 63) & 1
 }
 
 // trackFlip maintains the fork-population ledger while observability is
@@ -302,22 +431,26 @@ func (g *Grid) trackFlip(from, to ForkID) {
 }
 
 // trackBirth records a freshly created branch. Callers gate on g.obsOn.
-func (g *Grid) trackBirth(f *forkInfo) {
+func (g *Grid) trackBirth(id ForkID) {
 	g.obsForkBirths.Inc()
 	g.obsTrace.Emit(int64(g.step), "gridsim", "fork_birth",
-		obs.F("fork", f.id.String()),
-		obs.F("parent", f.parent.String()),
-		obs.Fint("base_height", int64(f.baseHeight)),
-		obs.Fbool("counterfeit", f.counterfeit))
+		obs.F("fork", id.String()),
+		obs.F("parent", ForkID(g.fParent[id]).String()),
+		obs.Fint("base_height", int64(g.fBase[id])),
+		obs.Fbool("counterfeit", g.fCounterfeit[id]))
 }
 
 // adopt copies src's chain view into dst, tracking the fork flip when
 // observability is on. It is the single adoption point of the gossip loop.
-func (g *Grid) adopt(dst, src *cell) {
-	if g.obsOn && dst.fork != src.fork {
-		g.trackFlip(dst.fork, src.fork)
+//
+//hot:path
+func (g *Grid) adopt(dst, src int) {
+	if g.obsOn && g.fork[dst] != g.fork[src] {
+		g.trackFlip(ForkID(g.fork[dst]), ForkID(g.fork[src]))
 	}
-	*dst = *src
+	g.fork[dst] = g.fork[src]
+	g.height[dst] = g.height[src]
+	g.link[dst] = g.link[src]
 }
 
 // StepsPerBlock returns the number of communication steps per block
@@ -347,13 +480,16 @@ func (g *Grid) BlocksMined() int { return g.blocksMined }
 // ForksEmerged returns how many forks (beyond the main chain) appeared.
 func (g *Grid) ForksEmerged() int { return g.forksEmerged }
 
+// NumCells returns the number of cells in the grid.
+func (g *Grid) NumCells() int { return len(g.fork) }
+
 func (g *Grid) idx(row, col int) int { return row*g.cfg.Size + col }
 
 // neighbors returns the cached Moore (8-cell) neighborhood, matching
 // Bitcoin's default of 8 peers, clipped at the grid boundary.
-func (g *Grid) neighbors(i int) []int { return g.nbrs[g.nbrOff[i]:g.nbrOff[i+1]] }
+func (g *Grid) neighbors(i int) []int32 { return g.nbrs[g.nbrOff[i]:g.nbrOff[i+1]] }
 
-func (g *Grid) appendNeighbors(out []int, i int) []int {
+func (g *Grid) appendNeighbors(out []int32, i int) []int32 {
 	size := g.cfg.Size
 	row, col := i/size, i%size
 	for dr := -1; dr <= 1; dr++ {
@@ -365,7 +501,7 @@ func (g *Grid) appendNeighbors(out []int, i int) []int {
 			if r < 0 || r >= size || c < 0 || c >= size {
 				continue
 			}
-			out = append(out, g.idx(r, c))
+			out = append(out, int32(g.idx(r, c)))
 		}
 	}
 	return out
@@ -391,81 +527,231 @@ func (g *Grid) Advance(n int) {
 		if g.faults != nil {
 			g.faults.StepChurn(g.step)
 		}
-		g.communicate()
+		if g.faults != nil {
+			g.communicateFaulty()
+		} else {
+			g.communicate()
+		}
 		if g.stepsPerBlock > 0 && g.step%g.stepsPerBlock == 0 {
 			g.mineBlock()
 		}
 	}
 }
 
-// communicate performs one gossip attempt per cell in index order.
+// oneThresh is the smallest 63-bit draw whose Float64 derivation rounds to
+// exactly 1.0 — the band math/rand redraws. Hoisted so the hot loops test
+// it as a raw integer compare.
+var oneThresh = float01Threshold(1)
+
+// float01Threshold returns the smallest 63-bit draw x such that
+// float64(x)/2^63 >= p. The mapping from draw to variate is monotone, so
+// "variate < p" is exactly "draw < threshold": the hot loops compare raw
+// integer draws against a precomputed threshold instead of converting
+// every draw to a float. The search evaluates the real derivation, double
+// rounding included, so the boundary cases where float64(x) rounds onto p
+// land on the same side as math/rand's comparison.
+func float01Threshold(p float64) int64 {
+	lo, hi := int64(0), int64(math.MaxInt64)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if float64(mid)/(1<<63) >= p {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// communicate performs one gossip attempt per cell in index order — the
+// faultless hot loop. The per-cell draw order (failure Bernoulli, then
+// neighbor pick) and every branch predicate are identical to the faulty
+// variant minus its injector checks, which keeps a zero-value Faults
+// config byte-identical to a faultless build. Equal heights are rejected
+// before any fork lookup: no adoption rule fires on a tie (the attacker
+// pushes and the symmetric exchange adopts only on strict inequality), and
+// in a mostly synced grid ties are the common case.
+//
+// Both per-cell draws are composed directly on rng.Uint64 — the only Fast
+// method small enough to inline — rather than calling Float64/Int31n:
+// the derivations below are line-for-line those of rand.Rand.Float64 and
+// rand.Rand.Int31n (with the rejection threshold precomputed in rejMax),
+// so the stream is draw-identical; TestFastMatchesMathRand pins the method
+// forms and the integration goldens pin these fused forms.
+//
+//hot:path
 func (g *Grid) communicate() {
-	attackerIdx := g.idx(g.cfg.AttackerRow, g.cfg.AttackerCol)
+	attacker := -1
+	if g.cfg.AttackerShare > 0 {
+		attacker = g.attackerIdx
+	}
 	boundary := g.boundaryActive()
-	for i := range g.cells {
-		// A churned-out cell makes no communication attempt at all — its rng
-		// draws are skipped entirely, like a node that simply is not there.
-		if g.faults != nil && g.faults.Down(i) {
+	thresh := g.failThresh
+	n := len(g.fork)
+	for i := 0; i < n; i++ {
+		// Bernoulli(p) = Float64() < p, as pure integer compares: draws in
+		// the rounds-to-1.0 band are redrawn exactly as math/rand does, and
+		// the failure test is draw < float01Threshold(p).
+		x := int64(g.rng.Uint64() &^ (1 << 63))
+		for x >= oneThresh {
+			x = int64(g.rng.Uint64() &^ (1 << 63))
+		}
+		if x < thresh {
 			continue
 		}
-		if stats.Bernoulli(g.rng, g.cfg.FailureRate) {
-			continue
+		// Int31n(deg): mask when deg is a power of two, otherwise
+		// reject-and-mod against the precomputed threshold.
+		lo := g.nbrOff[i]
+		w := int32((g.rng.Uint64() &^ (1 << 63)) >> 32)
+		var k int32
+		if m := g.rejMax[i]; m < 0 {
+			k = w & (g.nbrOff[i+1] - lo - 1)
+		} else {
+			for w > m {
+				w = int32((g.rng.Uint64() &^ (1 << 63)) >> 32)
+			}
+			k = w % (g.nbrOff[i+1] - lo)
 		}
-		nbrs := g.neighbors(i)
-		j := nbrs[g.rng.Intn(len(nbrs))]
+		e := lo + k
 		// Targeted communication disruption: while the attack boundary is
 		// active, gossip crossing it is blocked.
-		if boundary && g.inRegion(i) != g.inRegion(j) {
+		if boundary && g.cross[e] != 0 {
 			continue
 		}
-		// Fault injection: a down partner, a dead/flapping/one-way link, or
-		// chaos loss kills the exchange (DESIGN.md §10).
-		if g.faults != nil {
-			if g.faults.Down(j) || !g.faults.Allow(i, j, g.step) || g.faults.ChaosLoss() {
-				continue
-			}
+		j := int(g.nbrs[e])
+		hi, hj := g.height[i], g.height[j]
+		if hi == hj {
+			continue
 		}
-		a, b := &g.cells[i], &g.cells[j]
 		// Once the attacker's cell is on the counterfeit branch it never
 		// adopts the honest chain — it is the anchor that keeps the branch
 		// alive (§V-B: the attacker "sustains" the isolated portion "with
 		// successive forks"). Before the attack fork exists it behaves
-		// honestly.
-		if i == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(a.fork) {
-			// Attacker only pushes, never pulls.
-			if a.height > b.height {
-				g.adopt(b, a)
+		// honestly. Attacker only pushes, never pulls.
+		if i == attacker {
+			if g.fTainted[g.fork[i]] {
+				if hi > hj {
+					g.adopt(j, i)
+				}
+				continue
 			}
-			continue
-		}
-		if j == attackerIdx && g.cfg.AttackerShare > 0 && g.onCounterfeit(b.fork) {
-			if b.height > a.height {
-				g.adopt(a, b)
+		} else if j == attacker {
+			if g.fTainted[g.fork[j]] {
+				if hj > hi {
+					g.adopt(i, j)
+				}
+				continue
 			}
-			continue
 		}
 		// Symmetric exchange: the lower-height side adopts the higher.
-		switch {
-		case a.height > b.height:
-			g.adopt(b, a)
-		case b.height > a.height:
-			g.adopt(a, b)
+		if hi > hj {
+			g.adopt(j, i)
+		} else {
+			g.adopt(i, j)
 		}
 	}
 }
 
-func (g *Grid) forkOf(id ForkID) *forkInfo { return g.forks[int(id)] }
+// communicateFaulty is communicate with the fault-injector checks woven
+// back in, kept as a separate loop so the faultless path pays nothing for
+// them.
+//
+//hot:path
+func (g *Grid) communicateFaulty() {
+	attacker := -1
+	if g.cfg.AttackerShare > 0 {
+		attacker = g.attackerIdx
+	}
+	boundary := g.boundaryActive()
+	thresh := g.failThresh
+	n := len(g.fork)
+	for i := 0; i < n; i++ {
+		// A churned-out cell makes no communication attempt at all — its rng
+		// draws are skipped entirely, like a node that simply is not there.
+		if g.faults.Down(i) {
+			continue
+		}
+		// Fused integer-threshold Bernoulli and Int31n draws — see communicate.
+		x := int64(g.rng.Uint64() &^ (1 << 63))
+		for x >= oneThresh {
+			x = int64(g.rng.Uint64() &^ (1 << 63))
+		}
+		if x < thresh {
+			continue
+		}
+		lo := g.nbrOff[i]
+		w := int32((g.rng.Uint64() &^ (1 << 63)) >> 32)
+		var k int32
+		if m := g.rejMax[i]; m < 0 {
+			k = w & (g.nbrOff[i+1] - lo - 1)
+		} else {
+			for w > m {
+				w = int32((g.rng.Uint64() &^ (1 << 63)) >> 32)
+			}
+			k = w % (g.nbrOff[i+1] - lo)
+		}
+		e := lo + k
+		if boundary && g.cross[e] != 0 {
+			continue
+		}
+		j := int(g.nbrs[e])
+		// Fault injection: a down partner, a dead/flapping/one-way link, or
+		// chaos loss kills the exchange (DESIGN.md §10).
+		if g.faults.Down(j) || !g.faults.Allow(i, j, g.step) || g.faults.ChaosLoss() {
+			continue
+		}
+		hi, hj := g.height[i], g.height[j]
+		if hi == hj {
+			continue
+		}
+		if i == attacker {
+			if g.fTainted[g.fork[i]] {
+				if hi > hj {
+					g.adopt(j, i)
+				}
+				continue
+			}
+		} else if j == attacker {
+			if g.fTainted[g.fork[j]] {
+				if hj > hi {
+					g.adopt(i, j)
+				}
+				continue
+			}
+		}
+		if hi > hj {
+			g.adopt(j, i)
+		} else {
+			g.adopt(i, j)
+		}
+	}
+}
 
 // mineBlock resolves one block event.
 func (g *Grid) mineBlock() {
 	g.blocksMined++
-	if g.cfg.AttackerShare > 0 && stats.Bernoulli(g.rng, g.cfg.AttackerShare) {
+	if g.cfg.AttackerShare > 0 && g.rng.Bernoulli(g.cfg.AttackerShare) {
 		g.obsAttackerBlk.Inc()
 		g.mineAttacker()
 		return
 	}
 	g.obsHonestBlk.Inc()
 	g.mineHonest()
+}
+
+// newFork appends a branch rooted at parent and returns its id. The taint
+// flag — counterfeit or descended from counterfeit — is computed here,
+// once, because a fork's parent and counterfeit bit never change.
+func (g *Grid) newFork(parent int32, base int32, tipLink blockchain.Hash, counterfeit bool) ForkID {
+	id := ForkID(len(g.fParent))
+	g.fParent = append(g.fParent, parent)
+	g.fBase = append(g.fBase, base)
+	g.fTip = append(g.fTip, base+1)
+	g.fTipLink = append(g.fTipLink, tipLink)
+	g.fCounterfeit = append(g.fCounterfeit, counterfeit)
+	g.fTainted = append(g.fTainted, counterfeit || g.fTainted[parent])
+	g.forksEmerged++
+	return id
 }
 
 // mineHonest extends the chain at a uniformly random cell that follows an
@@ -477,47 +763,39 @@ func (g *Grid) mineBlock() {
 // exactly how natural forks arise from propagation delay.
 func (g *Grid) mineHonest() {
 	i := g.pickHonestCell()
-	c := &g.cells[i]
-	if g.onCounterfeit(c.fork) {
+	f := g.fork[i]
+	if g.fTainted[f] {
 		// The whole grid is captured: the honest miners (whose hash power is
 		// not tied to captured full nodes) publish on the tallest honest
 		// fork, re-seeding it at this cell.
-		f := g.tallestHonestFork()
-		f.tipHeight++
-		f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 0, 0, nil, false)
-		if g.obsOn && c.fork != f.id {
-			g.trackFlip(c.fork, f.id)
+		t := g.tallestHonestFork()
+		g.fTip[t]++
+		g.fTipLink[t] = blockchain.HashBlock(g.fTipLink[t], int(g.fTip[t]), 0, 0, nil, false)
+		if g.obsOn && f != t {
+			g.trackFlip(ForkID(f), ForkID(t))
 		}
-		c.fork = f.id
-		c.height = f.tipHeight
-		c.link = f.tipLink
+		g.fork[i] = t
+		g.height[i] = g.fTip[t]
+		g.link[i] = g.fTipLink[t]
 		return
 	}
-	f := g.forkOf(c.fork)
-	if c.height == f.tipHeight && c.link == f.tipLink {
-		f.tipHeight++
-		f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 0, 0, nil, false)
-		c.height = f.tipHeight
-		c.link = f.tipLink
+	if g.height[i] == g.fTip[f] && g.link[i] == g.fTipLink[f] {
+		g.fTip[f]++
+		g.fTipLink[f] = blockchain.HashBlock(g.fTipLink[f], int(g.fTip[f]), 0, 0, nil, false)
+		g.height[i] = g.fTip[f]
+		g.link[i] = g.fTipLink[f]
 		return
 	}
 	// Stale view: a new branch is born on top of the miner's local state.
-	nf := &forkInfo{
-		id:         ForkID(len(g.forks)),
-		parent:     c.fork,
-		baseHeight: c.height,
-		tipHeight:  c.height + 1,
-		tipLink:    blockchain.HashBlock(c.link, c.height+1, 0, 0, nil, false),
-	}
-	g.forks = append(g.forks, nf)
-	g.forksEmerged++
+	nf := g.newFork(f, g.height[i],
+		blockchain.HashBlock(g.link[i], int(g.height[i])+1, 0, 0, nil, false), false)
 	if g.obsOn {
 		g.trackBirth(nf)
-		g.trackFlip(c.fork, nf.id)
+		g.trackFlip(ForkID(f), nf)
 	}
-	c.fork = nf.id
-	c.height = nf.tipHeight
-	c.link = nf.tipLink
+	g.fork[i] = int32(nf)
+	g.height[i] = g.fTip[nf]
+	g.link[i] = g.fTipLink[nf]
 }
 
 // pickHonestCell samples a uniformly random cell following an honest branch
@@ -525,14 +803,15 @@ func (g *Grid) mineHonest() {
 // on the main network), falling back to any cell when none remain.
 func (g *Grid) pickHonestCell() int {
 	boundary := g.boundaryActive()
+	n := len(g.fork)
 	// Rejection sampling keeps the common case O(1); bounded attempts avoid
 	// degenerate loops when nearly everything is captured.
 	for attempt := 0; attempt < 64; attempt++ {
-		i := g.rng.Intn(len(g.cells))
-		if g.onCounterfeit(g.cells[i].fork) {
+		i := g.rng.Intn(n)
+		if g.fTainted[g.fork[i]] {
 			continue
 		}
-		if boundary && g.inRegion(i) {
+		if boundary && g.regionBit(i) != 0 {
 			continue
 		}
 		// Churned-out cells are not publishing anyone's blocks.
@@ -541,63 +820,106 @@ func (g *Grid) pickHonestCell() int {
 		}
 		return i
 	}
-	return g.rng.Intn(len(g.cells))
+	return g.rng.Intn(n)
 }
 
-// tallestHonestFork returns the honest fork with the greatest tip height.
-func (g *Grid) tallestHonestFork() *forkInfo {
-	var best *forkInfo
-	for _, f := range g.forks {
-		if f.counterfeit {
+// tallestHonestFork returns the untainted fork with the greatest tip
+// height (ties favor the earliest fork). Fork 0 is never tainted, so the
+// result is always valid.
+func (g *Grid) tallestHonestFork() int32 {
+	best := int32(-1)
+	var bestTip int32
+	for id := range g.fParent {
+		if g.fTainted[id] {
 			continue
 		}
-		if g.counterfeitAncestry(f) {
-			continue
-		}
-		if best == nil || f.tipHeight > best.tipHeight {
-			best = f
+		if best < 0 || g.fTip[id] > bestTip {
+			best, bestTip = int32(id), g.fTip[id]
 		}
 	}
 	return best
 }
 
-// counterfeitAncestry reports whether the fork descends from a counterfeit
-// branch.
-func (g *Grid) counterfeitAncestry(f *forkInfo) bool {
-	return g.onCounterfeit(f.id)
-}
-
 // mineAttacker extends (or creates) the counterfeit branch anchored at the
 // attacker's cell.
 func (g *Grid) mineAttacker() {
-	i := g.idx(g.cfg.AttackerRow, g.cfg.AttackerCol)
-	c := &g.cells[i]
-	f := g.forkOf(c.fork)
-	if !f.counterfeit {
+	i := g.attackerIdx
+	f := g.fork[i]
+	if !g.fCounterfeit[f] {
 		// First attack block: branch off the attacker's current view.
-		nf := &forkInfo{
-			id:          ForkID(len(g.forks)),
-			parent:      c.fork,
-			baseHeight:  c.height,
-			tipHeight:   c.height + 1,
-			tipLink:     blockchain.HashBlock(c.link, c.height+1, 1, 0, nil, true),
-			counterfeit: true,
-		}
-		g.forks = append(g.forks, nf)
-		g.forksEmerged++
+		nf := g.newFork(f, g.height[i],
+			blockchain.HashBlock(g.link[i], int(g.height[i])+1, 1, 0, nil, true), true)
 		if g.obsOn {
 			g.trackBirth(nf)
-			g.trackFlip(c.fork, nf.id)
+			g.trackFlip(ForkID(f), nf)
 		}
-		c.fork = nf.id
-		c.height = nf.tipHeight
-		c.link = nf.tipLink
+		g.fork[i] = int32(nf)
+		g.height[i] = g.fTip[nf]
+		g.link[i] = g.fTipLink[nf]
 		return
 	}
-	f.tipHeight++
-	f.tipLink = blockchain.HashBlock(f.tipLink, f.tipHeight, 1, 0, nil, true)
-	c.height = f.tipHeight
-	c.link = f.tipLink
+	g.fTip[f]++
+	g.fTipLink[f] = blockchain.HashBlock(g.fTipLink[f], int(g.fTip[f]), 1, 0, nil, true)
+	g.height[i] = g.fTip[f]
+	g.link[i] = g.fTipLink[f]
+}
+
+// ForkCount is one branch's follower tally.
+type ForkCount struct {
+	Fork  ForkID
+	Cells int
+}
+
+// ForkCounts tallies the cells following each live fork, sorted by fork id
+// ascending. The returned slice is an internal buffer reused call over
+// call: it is valid until the next ForkCounts or Snapshot on this grid.
+// This is the allocation-free form of Snapshot's ForkCounts map for
+// per-step observers.
+func (g *Grid) ForkCounts() []ForkCount {
+	nf := len(g.fParent)
+	g.fcCounts = resizeI32(g.fcCounts, nf)
+	for i := range g.fcCounts {
+		g.fcCounts[i] = 0
+	}
+	for _, f := range g.fork {
+		g.fcCounts[f]++
+	}
+	g.fcBuf = g.fcBuf[:0]
+	for id, c := range g.fcCounts {
+		if c > 0 {
+			g.fcBuf = append(g.fcBuf, ForkCount{Fork: ForkID(id), Cells: int(c)})
+		}
+	}
+	return g.fcBuf
+}
+
+// MaxHeight returns the global best height across all cells.
+func (g *Grid) MaxHeight() int {
+	var m int32
+	for _, h := range g.height {
+		if h > m {
+			m = h
+		}
+	}
+	return int(m)
+}
+
+// StaleCells returns the number of cells strictly behind the global best
+// height.
+func (g *Grid) StaleCells() int {
+	var m int32
+	for _, h := range g.height {
+		if h > m {
+			m = h
+		}
+	}
+	n := 0
+	for _, h := range g.height {
+		if h < m {
+			n++
+		}
+	}
+	return n
 }
 
 // Snapshot captures the observable state of the grid at the current step.
@@ -612,18 +934,23 @@ type Snapshot struct {
 	Lag [5]int
 }
 
-// Snapshot returns the current state summary.
+// Snapshot returns the current state summary. It allocates a fresh
+// ForkCounts map and is meant for rendered output paths; hot per-step
+// observers should use ForkCounts, MaxHeight, and StaleCells instead.
 func (g *Grid) Snapshot() Snapshot {
 	s := Snapshot{Step: g.step, ForkCounts: map[ForkID]int{}}
-	for i := range g.cells {
-		if g.cells[i].height > s.MaxHeight {
-			s.MaxHeight = g.cells[i].height
+	for _, fc := range g.ForkCounts() {
+		s.ForkCounts[fc.Fork] = fc.Cells
+	}
+	var max int32
+	for _, h := range g.height {
+		if h > max {
+			max = h
 		}
 	}
-	for i := range g.cells {
-		c := g.cells[i]
-		s.ForkCounts[c.fork]++
-		behind := s.MaxHeight - c.height
+	s.MaxHeight = int(max)
+	for _, h := range g.height {
+		behind := max - h
 		switch {
 		case behind <= 0:
 			s.Lag[0]++
@@ -644,24 +971,12 @@ func (g *Grid) Snapshot() Snapshot {
 // attacker-produced branch (directly or via a descendant branch).
 func (g *Grid) CounterfeitCells() int {
 	n := 0
-	for i := range g.cells {
-		if g.onCounterfeit(g.cells[i].fork) {
+	for _, f := range g.fork {
+		if g.fTainted[f] {
 			n++
 		}
 	}
 	return n
-}
-
-// onCounterfeit walks the fork ancestry looking for a counterfeit branch.
-func (g *Grid) onCounterfeit(id ForkID) bool {
-	for id >= 0 {
-		f := g.forkOf(id)
-		if f.counterfeit {
-			return true
-		}
-		id = f.parent
-	}
-	return false
 }
 
 // Render draws the grid as ASCII, one letter per cell giving its fork
@@ -670,7 +985,7 @@ func (g *Grid) Render() string {
 	var b strings.Builder
 	for r := 0; r < g.cfg.Size; r++ {
 		for c := 0; c < g.cfg.Size; c++ {
-			b.WriteString(g.cells[g.idx(r, c)].fork.String())
+			b.WriteString(ForkID(g.fork[g.idx(r, c)]).String())
 		}
 		b.WriteByte('\n')
 	}

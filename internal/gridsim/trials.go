@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/obs"
@@ -166,6 +167,11 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 	if ensembleReg != nil {
 		trialRegs = make([]*obs.Registry, tc.Trials)
 	}
+	// Completed grids are pooled and Reset for the next replicate: the SoA
+	// arenas (cell, fork, neighbor, and region slices) are reused, so the
+	// steady-state ensemble performs near-zero allocations per trial. Reset
+	// is byte-identical to New, so pooling cannot perturb any result.
+	var pool sync.Pool
 	runOne := func(trial int, seed int64) (Trial, error) {
 		runCfg := cfg
 		runCfg.Seed = seed
@@ -179,7 +185,13 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 		} else {
 			runCfg.Obs = nil
 		}
-		g, err := New(runCfg)
+		var g *Grid
+		var err error
+		if pooled, _ := pool.Get().(*Grid); pooled != nil {
+			g, err = pooled, pooled.ResetConfig(runCfg)
+		} else {
+			g, err = New(runCfg)
+		}
 		if err != nil {
 			return Trial{}, fmt.Errorf("trial %d: %w", trial, err)
 		}
@@ -187,14 +199,15 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 		if err := g.BudgetErr(); err != nil {
 			return Trial{}, fmt.Errorf("trial %d: %w", trial, err)
 		}
-		snap := g.Snapshot()
-		return Trial{
+		t := Trial{
 			Seed:             seed,
 			Forks:            g.ForksEmerged(),
 			CounterfeitCells: g.CounterfeitCells(),
-			StaleCells:       len(g.cells) - snap.Lag[0],
-			MaxHeight:        snap.MaxHeight,
-		}, nil
+			StaleCells:       g.StaleCells(),
+			MaxHeight:        g.MaxHeight(),
+		}
+		pool.Put(g)
+		return t, nil
 	}
 	res := &TrialsResult{Config: cfg, Blocks: tc.Blocks}
 	if tc.supervised() {

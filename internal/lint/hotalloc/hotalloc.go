@@ -1,0 +1,110 @@
+// Package hotalloc enforces the allocation discipline of DESIGN.md §12 on
+// functions annotated with a "//hot:path" doc comment: a hot function is one the
+// profiles show on a per-event or per-cell path, and the structure-of-arrays
+// rewrite got its speedups precisely by keeping make, growing appends, and
+// map iteration out of those bodies. The analyzer fails when a //hot:path
+// function contains:
+//
+//   - a call to the builtin make — a fresh allocation per invocation, which
+//     belongs in a Reset/constructor that reuses backing storage instead;
+//   - a call to the builtin append — growth reallocates and even the
+//     non-growing form hides a capacity check; hot paths index into
+//     preallocated storage;
+//   - a range over a map — a hash walk with randomised order, both slower
+//     than a slice scan and a determinism hazard.
+//
+// Helpers that legitimately grow storage (markRequested, setHave, interning)
+// simply are not annotated — the annotation is the contract. Test files are
+// skipped; //lint:ignore suppresses individual findings like every other
+// analyzer in the suite.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags make/append calls and map iteration inside functions " +
+		"annotated //hot:path, whose contract is zero steady-state allocation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries the //hot:path
+// annotation (a comment line that is exactly "//hot:path", the pragma style of
+// //go:noinline and friends).
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//hot:path" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks one hot function and reports every allocation or map walk.
+// Function literals inside the body are part of the hot path — they run (or
+// allocate) when the hot function does — so the walk descends into them.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, n) {
+			case "make":
+				pass.Reportf(n.Pos(),
+					"make inside //hot:path function %s allocates per call; preallocate in a constructor or Reset and reuse the backing storage",
+					name)
+			case "append":
+				pass.Reportf(n.Pos(),
+					"append inside //hot:path function %s can grow its backing array; index into preallocated storage instead",
+					name)
+			}
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"map iteration inside //hot:path function %s is a randomised hash walk; keep a flat slice (or index log) alongside the map and scan that",
+						name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

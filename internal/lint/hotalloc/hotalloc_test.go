@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotalloc"
+)
+
+// TestHotAlloc covers make/append/map-iteration positives inside //hot:path
+// functions (closures included) and the unannotated-helper, preallocated-
+// probe, and map-read negatives.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotalloc.Analyzer, "hotalloc", "hotalloc_ok")
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/checkederr"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/load"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/nogoroutine"
@@ -26,6 +27,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		checkederr.Analyzer,
+		hotalloc.Analyzer,
 		maporder.Analyzer,
 		nogoroutine.Analyzer,
 		seededrand.Analyzer,

@@ -131,7 +131,10 @@ type Network struct {
 	Engine *sim.Engine
 	Nodes  []*Node
 
-	cfg      Config
+	cfg Config
+	// lambda is the precomputed diffusion delay rate 1/MeanRelayDelay, so
+	// the per-message hop sampler does no division on the hot path.
+	lambda   float64
 	rng      *rand.Rand
 	policy   LinkPolicy
 	adj      [][]NodeID // undirected adjacency (out ∪ in edges)
@@ -142,6 +145,16 @@ type Network struct {
 	// cannot intercept (BlockAware's recovery path).
 	bypass map[[2]NodeID]bool
 	obs    netObs
+	// hashIdx interns every block hash the network handles to a dense
+	// index, assigned in first-reference order. The per-node request
+	// ledger (Node.reqAt) is indexed by it, so the relay hot path dedups
+	// with slice loads: one intern probe when a hash first enters a relay
+	// fan-out, instead of a map operation per node per message.
+	hashIdx map[blockchain.Hash]int32
+	// pendingBuf is the reusable work queue of attachAndRelay. Delivery is
+	// single-threaded and attachAndRelay never re-enters (sends only
+	// schedule future events), so one buffer per network suffices.
+	pendingBuf []*blockchain.Block
 }
 
 // netObs holds the network's pre-resolved instrument handles so the hot
@@ -202,11 +215,13 @@ func NewNetwork(engine *sim.Engine, nodes []*Node, cfg Config, rng *rand.Rand) (
 		return nil, errors.New("p2p: need at least two nodes")
 	}
 	n := &Network{
-		Engine: engine,
-		Nodes:  nodes,
-		cfg:    cfg,
-		rng:    rng,
-		refTip: blockchain.Genesis(),
+		Engine:  engine,
+		Nodes:   nodes,
+		cfg:     cfg,
+		lambda:  1 / cfg.MeanRelayDelay.Seconds(),
+		rng:     rng,
+		refTip:  blockchain.Genesis(),
+		hashIdx: map[blockchain.Hash]int32{},
 	}
 	n.initObs(cfg.Obs)
 	n.connect()
@@ -234,11 +249,13 @@ func NewNetworkWithGraph(engine *sim.Engine, nodes []*Node, cfg Config, rng *ran
 		return nil, fmt.Errorf("p2p: graph has %d rows for %d nodes", len(outbound), len(nodes))
 	}
 	n := &Network{
-		Engine: engine,
-		Nodes:  nodes,
-		cfg:    cfg,
-		rng:    rng,
-		refTip: blockchain.Genesis(),
+		Engine:  engine,
+		Nodes:   nodes,
+		cfg:     cfg,
+		lambda:  1 / cfg.MeanRelayDelay.Seconds(),
+		rng:     rng,
+		refTip:  blockchain.Genesis(),
+		hashIdx: map[blockchain.Hash]int32{},
 	}
 	n.initObs(cfg.Obs)
 	adjSet := make([]map[NodeID]bool, len(nodes))
@@ -380,8 +397,7 @@ func (n *Network) hopDelay() time.Duration {
 		rounds := 1 + n.rng.Intn(4)
 		return time.Duration(rounds) * n.cfg.TrickleInterval
 	default:
-		lambda := 1 / n.cfg.MeanRelayDelay.Seconds()
-		return time.Duration(stats.Exponential(n.rng, lambda) * float64(time.Second))
+		return time.Duration(stats.Exponential(n.rng, n.lambda) * float64(time.Second))
 	}
 }
 
@@ -416,34 +432,87 @@ func (n *Network) send(m Message) {
 	n.scheduleDelivery(m, extraDelay+n.hopDelay())
 }
 
-// scheduleDelivery arms one delivery of the message after the given delay.
-// Scheduling in the past cannot happen (delay >= 0); an error here is a
-// programming bug, so surface it loudly in simulation runs.
+// intern returns the dense index of a block hash, assigning the next free
+// index on first reference.
+func (n *Network) intern(h blockchain.Hash) int32 {
+	if idx, ok := n.hashIdx[h]; ok {
+		return idx
+	}
+	idx := int32(len(n.hashIdx))
+	n.hashIdx[h] = idx
+	return idx
+}
+
+// evRetry is the MsgEvent kind for an armed getdata retry; the wire
+// messages use their MsgType value as the kind.
+const evRetry = 0x80
+
+// scheduleDelivery arms one delivery of the message after the given delay,
+// as a typed engine event — no closure, no per-message allocation. Even a
+// block delivery carries no pointer: chain trees are append-only, so the
+// block is re-resolved from the sender's tree at arrival time — the same
+// *Block the sender held at send time (DESIGN.md §12). Scheduling in the
+// past cannot happen (delay >= 0); an error here is a programming bug, so
+// surface it loudly in simulation runs.
 func (n *Network) scheduleDelivery(m Message, delay time.Duration) {
-	if err := n.Engine.After(delay, func(now time.Duration) { n.deliver(m, now) }); err != nil {
+	err := n.Engine.AfterMsg(delay, n, sim.MsgEvent{
+		Kind: uint8(m.Type), From: int32(m.From), To: int32(m.To),
+		Idx: m.Idx, Key: uint64(m.Hash),
+	})
+	if err != nil {
 		panic(fmt.Sprintf("p2p: schedule: %v", err))
 	}
 }
 
-// deliver dispatches a message at its arrival time.
-func (n *Network) deliver(m Message, now time.Duration) {
-	to := n.Nodes[m.To]
+// HandleMsg dispatches a typed engine event: a wire message at its arrival
+// time, or a request-retry check at its deadline. It implements sim.MsgSink.
+func (n *Network) HandleMsg(now time.Duration, ev sim.MsgEvent) {
+	if ev.Kind == evRetry {
+		// A getdata fired earlier did not produce the block within
+		// RequestTimeout: re-request from the same provider.
+		node := n.Nodes[ev.To]
+		h := blockchain.Hash(ev.Key)
+		if !node.Up || node.Tree.Has(h) {
+			return
+		}
+		node.markRequested(ev.Idx, now, 0)
+		n.requestBlock(NodeID(ev.To), NodeID(ev.From), h, ev.Idx, int(ev.Attempt))
+		return
+	}
+	to := n.Nodes[ev.To]
 	if !to.Up {
 		return
 	}
-	switch m.Type {
+	switch MsgType(ev.Kind) {
 	case MsgInv:
-		if to.Tree.Has(m.Hash) || to.MarkRequested(m.Hash, now, n.cfg.RequestTimeout) {
+		// Dedup order matters for speed, not outcome: the bitset covers
+		// accepted blocks, the request ledger covers the inv-to-download
+		// window (the common repeat-inv case, a slice load), and the tree
+		// probe is the slow authoritative fallback for blocks that entered
+		// the tree without passing the relay. The disjunction's value is
+		// identical in any order; checking the ledger before the tree only
+		// adds a request mark for already-held blocks, which no later path
+		// consults (a held block is never re-requested).
+		if to.hasIdx(ev.Idx) || to.markRequested(ev.Idx, now, n.cfg.RequestTimeout) || to.Tree.Has(blockchain.Hash(ev.Key)) {
 			n.obs.deduped[MsgInv].Inc()
 			return
 		}
-		n.requestBlock(m.To, m.From, m.Hash, 0)
+		n.requestBlock(NodeID(ev.To), NodeID(ev.From), blockchain.Hash(ev.Key), ev.Idx, 0)
 	case MsgGetData:
-		if b, ok := n.Nodes[m.To].Tree.Get(m.Hash); ok {
-			n.send(Message{Type: MsgBlock, From: m.To, To: m.From, Hash: m.Hash, Block: b})
+		// hasIdx fronts the tree's map probe: a set bit proves the serving
+		// node accepted the block (acceptance is what sets it), and the
+		// authoritative lookup only runs for blocks that entered the tree
+		// without passing the relay.
+		if to.hasIdx(ev.Idx) || to.Tree.Has(blockchain.Hash(ev.Key)) {
+			n.send(Message{Type: MsgBlock, From: NodeID(ev.To), To: NodeID(ev.From),
+				Hash: blockchain.Hash(ev.Key), Idx: ev.Idx})
 		}
 	case MsgBlock:
-		n.handleBlock(m.To, m.From, m.Block, now)
+		// The sender's tree is append-only, so the block it resolved at
+		// send time is still there — same pointer, no payload carried.
+		if b, ok := n.Nodes[ev.From].Tree.Get(blockchain.Hash(ev.Key)); ok {
+			n.handleBlock(NodeID(ev.To), NodeID(ev.From), b, now)
+		}
 	}
 }
 
@@ -477,8 +546,8 @@ func (n *Network) handleBlock(id, from NodeID, b *blockchain.Block, now time.Dur
 			}
 			missing = o.Parent
 		}
-		if !node.MarkRequested(missing, now, n.cfg.RequestTimeout) {
-			n.requestBlock(id, from, missing, 0)
+		if idx := n.intern(missing); !node.markRequested(idx, now, n.cfg.RequestTimeout) {
+			n.requestBlock(id, from, missing, idx, 0)
 		}
 		return
 	}
@@ -494,22 +563,19 @@ const maxRequestRetries = 5
 // arrived within RequestTimeout, the request is re-sent to the same
 // provider, up to maxRequestRetries times. Without retries a single lost
 // message would strand a node one block behind until the next block's
-// arrival happened to heal it — and forever, for the newest block.
-func (n *Network) requestBlock(to, provider NodeID, h blockchain.Hash, attempt int) {
+// arrival happened to heal it — and forever, for the newest block. The
+// retry rides as a typed evRetry event rather than a closure.
+func (n *Network) requestBlock(to, provider NodeID, h blockchain.Hash, idx int32, attempt int) {
 	if attempt > 0 {
 		n.obs.retries.Inc()
 	}
-	n.send(Message{Type: MsgGetData, From: to, To: provider, Hash: h})
+	n.send(Message{Type: MsgGetData, From: to, To: provider, Hash: h, Idx: idx})
 	if attempt >= maxRequestRetries {
 		return
 	}
-	err := n.Engine.After(n.cfg.RequestTimeout, func(now time.Duration) {
-		node := n.Nodes[to]
-		if !node.Up || node.Tree.Has(h) {
-			return
-		}
-		node.MarkRequested(h, now, 0)
-		n.requestBlock(to, provider, h, attempt+1)
+	err := n.Engine.AfterMsg(n.cfg.RequestTimeout, n, sim.MsgEvent{
+		Kind: evRetry, Attempt: uint8(attempt + 1),
+		From: int32(provider), To: int32(to), Idx: idx, Key: uint64(h),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("p2p: schedule retry: %v", err))
@@ -521,10 +587,9 @@ func (n *Network) requestBlock(to, provider NodeID, h blockchain.Hash, attempt i
 // for everything newly accepted.
 func (n *Network) attachAndRelay(id NodeID, b *blockchain.Block, now time.Duration) {
 	node := n.Nodes[id]
-	pending := []*blockchain.Block{b}
-	for len(pending) > 0 {
-		next := pending[0]
-		pending = pending[1:]
+	pending := append(n.pendingBuf[:0], b)
+	for k := 0; k < len(pending); k++ {
+		next := pending[k]
 		reorgsBefore, reversedBefore := node.ReorgCount, node.ReversedTxs
 		isNew, err := node.AcceptBlock(next, now)
 		if err != nil || !isNew {
@@ -541,11 +606,15 @@ func (n *Network) attachAndRelay(id NodeID, b *blockchain.Block, now time.Durati
 				obs.Fint("reversed_txs", int64(reversed)),
 				obs.Fbool("counterfeit", next.Counterfeit))
 		}
+		// One intern for the whole inv fan-out.
+		idx := n.intern(next.Hash)
+		node.setHave(idx)
 		for _, peer := range n.adj[id] {
-			n.send(Message{Type: MsgInv, From: id, To: peer, Hash: next.Hash})
+			n.send(Message{Type: MsgInv, From: id, To: peer, Hash: next.Hash, Idx: idx})
 		}
 		pending = append(pending, node.TakeOrphans(next.Hash)...)
 	}
+	n.pendingBuf = pending[:0]
 }
 
 // Publish injects a freshly mined block at the origin node and starts its
@@ -597,7 +666,7 @@ func (n *Network) OfferTip(from, to NodeID) {
 	if tip.Height == 0 {
 		return
 	}
-	n.send(Message{Type: MsgInv, From: from, To: to, Hash: tip.Hash})
+	n.send(Message{Type: MsgInv, From: from, To: to, Hash: tip.Hash, Idx: n.intern(tip.Hash)})
 }
 
 // LagHistogram buckets all up nodes by how many blocks behind the reference

@@ -50,13 +50,15 @@ func (m MsgType) String() string {
 	}
 }
 
-// Message is one wire message between simulated nodes.
+// Message is one wire message between simulated nodes. Block deliveries
+// carry no payload pointer: chain trees are append-only, so the receiver
+// re-resolves the block from the sender's tree at arrival time.
 type Message struct {
-	Type  MsgType
-	From  NodeID
-	To    NodeID
-	Hash  blockchain.Hash
-	Block *blockchain.Block // populated for MsgBlock
+	Type MsgType
+	From NodeID
+	To   NodeID
+	Hash blockchain.Hash
+	Idx  int32 // the network's interned index for Hash
 }
 
 // Profile carries the per-node attributes the paper's dataset records
@@ -87,11 +89,15 @@ type Node struct {
 	// accept blocks.
 	Up bool
 
-	// requested tracks when each hash was last requested via getdata, to
+	// reqAt tracks when each block was last requested via getdata — to
 	// avoid duplicate downloads while still allowing a re-request after a
 	// timeout (a lost getdata or block reply would otherwise strand the
 	// node — Bitcoin's block-download timeout serves the same purpose).
-	requested map[blockchain.Hash]time.Duration
+	// It is indexed by the network's interned hash index rather than keyed
+	// by hash: the inv-dedup check on the relay hot path becomes a slice
+	// load instead of a map probe (DESIGN.md §12). -1 means never
+	// requested; the slice grows lazily as the network interns new hashes.
+	reqAt []time.Duration
 	// orphans holds blocks whose parent has not arrived yet, keyed by the
 	// missing parent hash — the classic orphan-block pool. Without it a
 	// node that hears about a child before its parent would lose the block
@@ -100,6 +106,12 @@ type Node struct {
 	// orphanByHash indexes the same blocks by their own hash, so recovery
 	// can walk an orphan chain back to its deepest missing ancestor.
 	orphanByHash map[blockchain.Hash]*blockchain.Block
+	// have is a bitset over the network's interned hash indexes marking
+	// blocks this node has accepted. It fronts Tree.Has on the inv-dedup
+	// hot path: a set bit proves presence with one word load, a clear bit
+	// falls through to the authoritative tree lookup (blocks can enter a
+	// tree without passing the relay, so clear is never proof of absence).
+	have []uint64
 	// LastBlockAt is the virtual time this node last advanced its tip,
 	// feeding the BlockAware countermeasure (tc - tl > 600s check).
 	LastBlockAt time.Duration
@@ -115,7 +127,6 @@ func NewNode(id NodeID, profile Profile) *Node {
 		Profile:      profile,
 		Tree:         blockchain.NewTree(),
 		Up:           true,
-		requested:    map[blockchain.Hash]time.Duration{},
 		orphans:      map[blockchain.Hash][]*blockchain.Block{},
 		orphanByHash: map[blockchain.Hash]*blockchain.Block{},
 	}
@@ -171,15 +182,42 @@ func (n *Node) BlocksBehind(refHeight int) int {
 	return d
 }
 
-// MarkRequested records an outstanding getdata at virtual time now and
+// markRequested records an outstanding getdata at virtual time now and
 // reports whether a sufficiently recent request (within timeout) is already
-// in flight, in which case the caller should suppress the duplicate.
-func (n *Node) MarkRequested(h blockchain.Hash, now, timeout time.Duration) bool {
-	if at, ok := n.requested[h]; ok && now-at < timeout {
+// in flight, in which case the caller should suppress the duplicate. idx is
+// the network's interned index for the block hash; every request-marking
+// path interns, so the dedup semantics are exactly those of the former
+// hash-keyed map.
+func (n *Node) markRequested(idx int32, now, timeout time.Duration) bool {
+	if int(idx) >= len(n.reqAt) {
+		old := len(n.reqAt)
+		n.reqAt = append(n.reqAt, make([]time.Duration, int(idx)+1-old)...)
+		for i := old; i < len(n.reqAt); i++ {
+			n.reqAt[i] = -1
+		}
+	}
+	if at := n.reqAt[idx]; at >= 0 && now-at < timeout {
 		return true
 	}
-	n.requested[h] = now
+	n.reqAt[idx] = now
 	return false
+}
+
+// setHave marks an interned hash index as accepted.
+func (n *Node) setHave(idx int32) {
+	w := int(idx >> 6)
+	if w >= len(n.have) {
+		n.have = append(n.have, make([]uint64, w+1-len(n.have))...)
+	}
+	n.have[w] |= 1 << (uint(idx) & 63)
+}
+
+// hasIdx reports whether the interned hash index is marked accepted.
+//
+//hot:path
+func (n *Node) hasIdx(idx int32) bool {
+	w := int(uint32(idx) >> 6)
+	return w < len(n.have) && n.have[w]&(1<<(uint(idx)&63)) != 0
 }
 
 // AcceptBlock adds a block to the node's view, updating lag bookkeeping and
