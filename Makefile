@@ -2,16 +2,17 @@
 #
 #   make check      — the tier-1 gate: build, vet, repolint, tests, race tests
 #   make lint       — go vet + the repo's own analyzers (cmd/repolint)
-#   make ci         — the gate plus gofmt cleanliness and the crash harness
+#   make ci         — the gate plus gofmt, the lint baseline, and the crash harness
 #   make crash      — kill/resume harness + fuzz smokes (DESIGN.md §11)
 #   make bench      — every table/figure/ablation benchmark + the JSON gates
 #   make benchjson  — machine-readable sequential-vs-parallel report
 #   make benchobs   — observability overhead gate (DESIGN.md §9, ≤5%)
 #   make benchckpt  — checkpoint overhead gate (DESIGN.md §11, ≤5%)
 #   make benchsoa   — structure-of-arrays speedup gate (DESIGN.md §12, ≥3x)
+#   make benchlint  — incremental lint driver gate (DESIGN.md §8, warm ≤2x vet)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck crash bench benchjson benchobs benchckpt benchsoa clean
+.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint clean clean-lintcache
 
 all: check
 
@@ -22,8 +23,11 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the determinism-and-safety analyzers from
-# internal/lint (seededrand, maporder, nogoroutine, wallclock, checkederr —
-# see DESIGN.md §8). Any diagnostic fails the target.
+# internal/lint (seededrand, seedflow, maporder, detmerge, nogoroutine,
+# wallclock, checkederr, hotalloc, hotescape — see DESIGN.md §8). Any
+# diagnostic fails the target. Results are replayed from the on-disk
+# action cache in .lintcache/ when sources and analyzer versions are
+# unchanged, so repeat runs cost a fraction of the first.
 lint: vet
 	$(GO) run ./cmd/repolint ./...
 
@@ -53,9 +57,17 @@ fmtcheck:
 crash:
 	sh scripts/crash_harness.sh
 
+# baselinecheck enforces the lint baseline discipline: no repolint finding
+# beyond the committed lint.baseline.json, and the baseline never grows
+# stale (every entry must still correspond to a live finding). Regenerate
+# a shrunken baseline with scripts/regen_baseline.sh.
+baselinecheck:
+	sh scripts/check_baseline.sh
+
 # ci is the single command a CI workflow should run: the full tier-1 gate
-# plus formatting cleanliness and the kill/resume harness.
-ci: check fmtcheck crash
+# plus formatting cleanliness, the lint baseline gate, and the kill/resume
+# harness.
+ci: check fmtcheck baselinecheck crash
 
 bench: benchobs benchckpt benchsoa
 	$(GO) test -bench=. -benchmem ./...
@@ -84,5 +96,16 @@ benchckpt:
 benchsoa:
 	$(GO) run ./cmd/benchjson -soa -out BENCH_soa.json
 
-clean:
+# benchlint regenerates BENCH_lint.json and enforces the DESIGN.md §8 gate:
+# a warm-cache repolint run over the whole module must stay within 2x of
+# `go vet ./...`.
+benchlint:
+	$(GO) run ./cmd/benchjson -lint -out BENCH_lint.json
+
+clean: clean-lintcache
 	$(GO) clean ./...
+
+# clean-lintcache drops the repolint action cache; the next `make lint`
+# rebuilds it from scratch.
+clean-lintcache:
+	rm -rf .lintcache

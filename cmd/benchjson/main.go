@@ -10,6 +10,7 @@
 //	benchjson -obs [-maxoverhead 5] [-out BENCH_obs.json]
 //	benchjson -checkpoint [-maxoverhead 5] [-out BENCH_checkpoint.json]
 //	benchjson -soa [-minspeedup 3] [-rounds 8] [-out BENCH_soa.json]
+//	benchjson -lint [-maxratio 2] [-out BENCH_lint.json]
 //
 // With -out "-" the report goes to stdout. The -obs mode measures the
 // observability layer instead: each hot workload runs with instrumentation
@@ -27,6 +28,13 @@
 // against the ns/op committed in BENCH_parallel.json and BENCH_obs.json
 // before the rewrite, and fails unless every workload holds -minspeedup and
 // stays under its allocs/op ceiling — the win cannot silently erode.
+//
+// The -lint mode gates the incremental repolint driver (DESIGN.md §8): it
+// times `go vet ./...` as the reference, then a cold repolint run (fresh
+// action cache) and a warm one (every target replayed from cache), and
+// fails when the warm run exceeds -maxratio times the vet time — the
+// cache must keep the repo's own analyzers cheap enough to run on every
+// build.
 //
 // In the default mode any pair whose parallel speedup falls below 1.0 is
 // flagged in the summary: on few-core hosts the worker fan-out of the
@@ -84,6 +92,8 @@ func run(args []string) error {
 	obsMode := fs.Bool("obs", false, "measure instrumentation overhead (off vs on) instead of the parallel pairs")
 	ckptMode := fs.Bool("checkpoint", false, "measure checkpoint-journal overhead (off vs on) instead of the parallel pairs")
 	soaMode := fs.Bool("soa", false, "gate the SoA hot paths against the pre-rewrite baselines")
+	lintMode := fs.Bool("lint", false, "measure cold vs warm repolint wall time against go vet")
+	maxRatio := fs.Float64("maxratio", 2, "with -lint: fail when the warm repolint run exceeds this multiple of go vet")
 	maxOverhead := fs.Float64("maxoverhead", 5, "with -obs/-checkpoint: fail when any workload's overhead exceeds this percentage")
 	minSpeedup := fs.Float64("minspeedup", 3, "with -soa: fail when any workload speeds up less than this over its baseline")
 	rounds := fs.Int("rounds", 8, "with -soa: measurement rounds per workload (minimum taken)")
@@ -113,6 +123,12 @@ func run(args []string) error {
 			*out = "BENCH_soa.json"
 		}
 		return runSoA(*minSpeedup, *rounds, *baseParallel, *baseObs, *out)
+	}
+	if *lintMode {
+		if *out == "" {
+			*out = "BENCH_lint.json"
+		}
+		return runLint(*maxRatio, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_parallel.json"

@@ -94,12 +94,12 @@ func run() error {
 	c.Stop()
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(*out); err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	write := crawler.WriteJSONL
@@ -107,7 +107,17 @@ func run() error {
 		write = crawler.WriteFramed
 	}
 	if err := write(w, c.Snapshots()); err != nil {
+		if f != nil {
+			_ = f.Close() // the write error is the one worth reporting
+		}
 		return err
+	}
+	if f != nil {
+		// Close carries the final flush for the snapshot file; a dropped
+		// error here would ship a truncated archive as a result.
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "crawl: wrote %d snapshots of %d nodes (%d blocks published)\n",
 		len(c.Snapshots()), *nodes, sim.BlocksProduced())
@@ -126,6 +136,7 @@ func verifyPopulation(path string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore checkederr read-only handle; Close after reads reports no data-loss error
 	defer f.Close()
 	cr, err := dataset.NewPopColumnReader(f)
 	if err != nil {

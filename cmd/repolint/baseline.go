@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineDoc is the committed lint.baseline.json format. Line and column
+// are recorded for human readers, but matching deliberately ignores them:
+// a baselined finding survives unrelated edits that shift it around a file,
+// while a second instance of the same message in the same file (a genuinely
+// new finding) is NOT absorbed, because matching is by multiset count.
+type baselineDoc struct {
+	// Comment documents the file's purpose for people opening it cold.
+	Comment  string   `json:"comment,omitempty"`
+	Findings []result `json:"findings"`
+}
+
+// baselineKey is the drift-tolerant identity of a finding.
+func baselineKey(r result) string {
+	return r.Analyzer + "\x00" + r.File + "\x00" + r.Message
+}
+
+// readBaselineFile loads a baseline written by -write-baseline.
+func readBaselineFile(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %v", err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	return doc.Findings, nil
+}
+
+// writeBaselineFile records results as the new baseline.
+func writeBaselineFile(path string, results []result) error {
+	if results == nil {
+		results = []result{}
+	}
+	doc := baselineDoc{
+		Comment:  "Known repolint findings tolerated by `make ci`. Regenerate with scripts/regen_baseline.sh; the baseline must never grow.",
+		Findings: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diffBaseline splits results into the findings not covered by the baseline
+// and the count of tolerated ones. Matching is a multiset subtraction on
+// (analyzer, file, message).
+func diffBaseline(results, base []result) (fresh []result, tolerated int) {
+	budget := map[string]int{}
+	for _, b := range base {
+		budget[baselineKey(b)]++
+	}
+	for _, r := range results {
+		k := baselineKey(r)
+		if budget[k] > 0 {
+			budget[k]--
+			tolerated++
+			continue
+		}
+		fresh = append(fresh, r)
+	}
+	return fresh, tolerated
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// cacheFormat versions the on-disk entry encoding itself, independent of
+// analyzer semantics (those live in lint.DriverVersion and each analyzer's
+// Version, which participate in the key prefix).
+const cacheFormat = "1"
+
+// actionCache is repolint's on-disk result cache. One entry per analyzed
+// target, named by a SHA-256 action key over everything that can change the
+// target's findings:
+//
+//   - the cache format, lint.DriverVersion, the analyzer suite (name:version
+//     pairs in run order), and whether tests are included;
+//   - the target's import path and the contents of its source files;
+//   - for every transitive dependency: in-module dependency source contents,
+//     or the export-data path for everything else (go build-cache paths
+//     encode the toolchain and package identity, so they shift whenever
+//     either does).
+//
+// Suppression directives live in the hashed sources, so cached findings are
+// post-suppression and can be replayed verbatim. Entries are content-
+// addressed and immutable; stale keys are simply never read again (the
+// directory is small and disposable — `make clean-lintcache` removes it).
+type actionCache struct {
+	dir    string
+	prefix []byte // hash contribution shared by every target
+	plan   *load.Plan
+	deps   map[string][]byte // import path → cached dependency digest
+}
+
+// openCache creates the cache directory and precomputes the suite prefix.
+func openCache(dir string, analyzers []*analysis.Analyzer, includeTests bool, plan *load.Plan) (*actionCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	hashString(h, cacheFormat)
+	hashString(h, lint.DriverVersion)
+	expanded, err := lint.Expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range expanded {
+		hashString(h, a.Name+":"+a.Version)
+	}
+	hashString(h, fmt.Sprintf("tests=%v", includeTests))
+	return &actionCache{
+		dir:    dir,
+		prefix: h.Sum(nil),
+		plan:   plan,
+		deps:   map[string][]byte{},
+	}, nil
+}
+
+// key computes the action key for a target. Any error (an unreadable source
+// file, say) disables caching for that target rather than failing the run.
+func (c *actionCache) key(t load.Target) (string, error) {
+	h := sha256.New()
+	h.Write(c.prefix)
+	hashString(h, t.ImportPath)
+	for _, f := range t.Files {
+		if err := hashFile(h, f); err != nil {
+			return "", err
+		}
+	}
+	for _, dep := range t.Deps {
+		d, err := c.depDigest(dep)
+		if err != nil {
+			return "", err
+		}
+		h.Write(d)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// depDigest returns (and memoizes) the identity digest of one dependency:
+// its source contents when in-module, its export-data path otherwise.
+func (c *actionCache) depDigest(importPath string) ([]byte, error) {
+	if d, ok := c.deps[importPath]; ok {
+		return d, nil
+	}
+	h := sha256.New()
+	hashString(h, importPath)
+	files, export, inModule := c.plan.DepSources(importPath)
+	if inModule {
+		for _, f := range files {
+			if err := hashFile(h, f); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		hashString(h, export)
+	}
+	d := h.Sum(nil)
+	c.deps[importPath] = d
+	return d, nil
+}
+
+// entry is the JSON payload of one cache file.
+type entry struct {
+	ImportPath string   `json:"importPath"`
+	Findings   []result `json:"findings"`
+}
+
+// get replays a target's cached findings, if present and well-formed.
+func (c *actionCache) get(t load.Target) ([]result, bool) {
+	key, err := c.key(t)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.ImportPath != t.ImportPath {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// put stores a target's findings under its action key. The write goes
+// through a temp file and rename so concurrent repolint runs never observe
+// a torn entry.
+func (c *actionCache) put(t load.Target, findings []result) error {
+	key, err := c.key(t)
+	if err != nil {
+		return nil // unkeyable target: skip caching, keep the findings
+	}
+	if findings == nil {
+		findings = []result{}
+	}
+	data, err := json.Marshal(entry{ImportPath: t.ImportPath, Findings: findings})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()           // already failing; the write error is the one to report
+		_ = os.Remove(tmp.Name()) // best-effort cleanup of the torn temp file
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup of the torn temp file
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.dir, key+".json"))
+}
+
+// hashString writes a length-prefixed string, keeping field boundaries
+// unambiguous in the hash stream.
+func hashString(h hash.Hash, s string) {
+	fmt.Fprintf(h, "%d:%s", len(s), s)
+}
+
+// hashFile writes the file's path and contents, length-prefixed.
+func hashFile(h hash.Hash, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	hashString(h, path)
+	fmt.Fprintf(h, "%d:", len(data))
+	h.Write(data)
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/lint"
+)
+
+// printJSON writes findings as a stable, machine-readable JSON array
+// ([] rather than null when clean, so consumers can always range over it).
+func printJSON(w io.Writer, results []result) error {
+	if results == nil {
+		results = []result{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Minimal SARIF 2.1.0 document model: one run, one rule per analyzer, one
+// result per finding. Enough structure for code-scanning UIs to ingest
+// without pulling in a SARIF dependency.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// printSARIF writes findings as a SARIF 2.1.0 log with the full analyzer
+// suite registered as rules (so "no findings" still names what ran).
+func printSARIF(w io.Writer, results []result) error {
+	var rules []sarifRule
+	for _, a := range lint.Analyzers() {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	sresults := []sarifResult{}
+	for _, r := range results {
+		sresults = append(sresults, sarifResult{
+			RuleID:  r.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: r.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: r.File},
+					Region:           sarifRegion{StartLine: r.Line, StartColumn: r.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:    "repolint",
+				Version: lint.DriverVersion,
+				Rules:   rules,
+			}},
+			Results: sresults,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

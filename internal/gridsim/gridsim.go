@@ -446,6 +446,7 @@ func (g *Grid) trackBirth(id ForkID) {
 //hot:path
 func (g *Grid) adopt(dst, src int) {
 	if g.obsOn && g.fork[dst] != g.fork[src] {
+		//lint:ignore hotescape trackFlip's forkPop append is amortized (grow-once ledger) and only runs with observability on
 		g.trackFlip(ForkID(g.fork[dst]), ForkID(g.fork[src]))
 	}
 	g.fork[dst] = g.fork[src]

@@ -1,0 +1,354 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Taint is the lattice value of the forward propagation engine. A value is
+// either definitely derived from a root (Tainted), definitely not
+// (Untainted: the zero value), or conditionally derived from the enclosing
+// function's parameters (ParamDeps — a bitmask of parameter indices whose
+// taint the value inherits). Mixing follows OR semantics: deriving a value
+// from one root and three constants still derives it from the root, which
+// is the right reading for "is this seed a function of the study seed".
+type Taint struct {
+	rooted bool
+	params uint64
+}
+
+// Rooted is the definitely-derived-from-a-root value.
+var Rooted = Taint{rooted: true}
+
+// Untainted is the definitely-not-derived value (also the zero Taint).
+var Untainted = Taint{}
+
+// Tainted reports whether the value definitely derives from a root.
+func (t Taint) Tainted() bool { return t.rooted }
+
+// ParamDeps returns the mask of enclosing-function parameters the value
+// conditionally derives from (receiver is bit 0 for methods).
+func (t Taint) ParamDeps() uint64 { return t.params }
+
+// Definite reports whether the judgment does not depend on parameters —
+// i.e. it holds in every calling context.
+func (t Taint) Definite() bool { return t.rooted || t.params == 0 }
+
+// Or joins two values.
+func (t Taint) Or(u Taint) Taint {
+	return Taint{rooted: t.rooted || u.rooted, params: t.params | u.params}
+}
+
+func paramTaint(i int) Taint {
+	if i >= 64 {
+		// Parameter lists past 64 entries lose precision; err on the
+		// optimistic side so the engine never manufactures a finding.
+		return Rooted
+	}
+	return Taint{params: 1 << uint(i)}
+}
+
+// Sink is one site a client wants judged: Expr's taint decides whether the
+// site is reported (clients choose the polarity — seedflow reports
+// untainted sinks, detmerge reports tainted ones).
+type Sink struct {
+	// Expr is the expression flowing into the site.
+	Expr ast.Expr
+	// Pos overrides the report position (defaults to Expr.Pos()).
+	Pos token.Pos
+	// What describes the site in diagnostics.
+	What string
+}
+
+// Hooks parameterise the engine for one client analyzer. Nil funcs default
+// to "never"/"not modeled".
+type Hooks struct {
+	// RootParam reports whether a function-literal parameter with this name
+	// and type is an inherent taint root (e.g. an int64 named seed).
+	// Closures are not call-site checkable, so this is their only rooting
+	// rule; declared functions' parameters are instead judged at call sites
+	// via demand and never consult it.
+	RootParam func(name string, t types.Type) bool
+	// RootField reports whether reading a struct field with this name and
+	// type yields a root.
+	RootField func(name string, t types.Type) bool
+	// RootObj reports whether a package-level constant or variable is a
+	// root (e.g. a const whose name declares it a seed).
+	RootObj func(obj types.Object) bool
+	// CallTaint models a call (typically into the stdlib or a framework
+	// entry point). Returning ok=false falls back to the in-program return
+	// summary, then to Untainted.
+	CallTaint func(ev *Evaluator, call *ast.CallExpr, callee *types.Func) (Taint, bool)
+	// Sinks lists the judged sites inside one function. The engine also
+	// uses them to compute which parameters a function "demands": taint
+	// reaching a sink through a parameter is judged at every call site
+	// instead, so findings stay inside the caller's dependency cone.
+	Sinks func(fn *Func, ev *Evaluator) []Sink
+	// ArgWhat describes a call argument judged because the callee demands
+	// that parameter. Nil uses a generic phrasing.
+	ArgWhat func(param string, callee *Func) string
+	// ReportsTainted declares the client's polarity: true when it reports
+	// sites whose value IS tainted (detmerge), false when it reports sites
+	// whose value is NOT (seedflow). Judgments the engine cannot resolve —
+	// recursion cycles like `x = append(x, ...)` or recursive returns —
+	// collapse to the value that cannot manufacture a finding for that
+	// polarity: Untainted when true, Rooted when false.
+	ReportsTainted bool
+}
+
+// cycleTaint is the resolution of an unresolvable judgment, chosen so the
+// engine only ever errs toward silence for the client's polarity.
+func (e *Engine) cycleTaint() Taint {
+	if e.Hooks.ReportsTainted {
+		return Untainted
+	}
+	return Rooted
+}
+
+// Engine computes per-function summaries over an Index for one client.
+// It is not safe for concurrent use: each analysis pass builds its own
+// (construction is cheap; summaries are memoized per engine).
+type Engine struct {
+	Index *Index
+	Hooks Hooks
+
+	evals   map[string]*Evaluator
+	retMemo map[string]Taint
+	retBusy map[string]bool
+	demMemo map[string]uint64
+	demBusy map[string]bool
+}
+
+// NewEngine wires hooks to an index.
+func NewEngine(idx *Index, hooks Hooks) *Engine {
+	return &Engine{
+		Index:   idx,
+		Hooks:   hooks,
+		evals:   map[string]*Evaluator{},
+		retMemo: map[string]Taint{},
+		retBusy: map[string]bool{},
+		demMemo: map[string]uint64{},
+		demBusy: map[string]bool{},
+	}
+}
+
+// Site is one judged location handed to CheckFunction's callback.
+type Site struct {
+	// Pos is where a diagnostic for this site belongs.
+	Pos token.Pos
+	// Taint is the engine's judgment of the value flowing in.
+	Taint Taint
+	// What describes the site for diagnostics.
+	What string
+}
+
+// CheckFunction judges every sink in fn and every argument fn passes for a
+// demanded parameter of a callee, invoking report for each. Judgments whose
+// taint still depends on fn's own parameters are the callers'
+// responsibility (they see fn's parameter as demanded) — clients typically
+// skip them via Taint.Definite.
+func (e *Engine) CheckFunction(fn *Func, report func(Site)) {
+	ev := e.evaluator(fn)
+	if e.Hooks.Sinks != nil {
+		for _, s := range e.Hooks.Sinks(fn, ev) {
+			pos := s.Pos
+			if !pos.IsValid() {
+				pos = s.Expr.Pos()
+			}
+			report(Site{Pos: pos, Taint: ev.Taint(s.Expr), What: s.What})
+		}
+	}
+	walkCalls(fn.Decl.Body, func(call *ast.CallExpr) {
+		callee := Callee(fn.Pkg.Info, call)
+		if callee == nil {
+			return
+		}
+		target := e.Index.Lookup(KeyOf(callee))
+		if target == nil || target == fn {
+			return
+		}
+		dem := e.Demanded(target)
+		if dem == 0 {
+			return
+		}
+		for _, pa := range demandedArgs(fn.Pkg.Info, call, target, dem) {
+			what := ""
+			if e.Hooks.ArgWhat != nil {
+				what = e.Hooks.ArgWhat(pa.name, target)
+			}
+			if what == "" {
+				what = fmt.Sprintf("argument for parameter %q of %s", pa.name, target.Key)
+			}
+			report(Site{
+				Pos:   pa.expr.Pos(),
+				Taint: ev.Taint(pa.expr),
+				What:  what,
+			})
+		}
+	})
+}
+
+// Demanded returns the mask of fn's parameters (receiver = bit 0 for
+// methods) whose taint reaches a sink, directly or through calls. Cycles
+// resolve to 0 — optimistic, so recursion never manufactures a finding.
+func (e *Engine) Demanded(fn *Func) uint64 {
+	if m, ok := e.demMemo[fn.Key]; ok {
+		return m
+	}
+	if e.demBusy[fn.Key] {
+		return 0
+	}
+	e.demBusy[fn.Key] = true
+	defer func() { e.demBusy[fn.Key] = false }()
+
+	ev := e.evaluator(fn)
+	var mask uint64
+	if e.Hooks.Sinks != nil {
+		for _, s := range e.Hooks.Sinks(fn, ev) {
+			mask |= ev.Taint(s.Expr).ParamDeps()
+		}
+	}
+	walkCalls(fn.Decl.Body, func(call *ast.CallExpr) {
+		callee := Callee(fn.Pkg.Info, call)
+		if callee == nil {
+			return
+		}
+		target := e.Index.Lookup(KeyOf(callee))
+		if target == nil || target == fn {
+			return
+		}
+		dem := e.Demanded(target)
+		if dem == 0 {
+			return
+		}
+		for _, pa := range demandedArgs(fn.Pkg.Info, call, target, dem) {
+			mask |= ev.Taint(pa.expr).ParamDeps()
+		}
+	})
+	e.demMemo[fn.Key] = mask
+	return mask
+}
+
+// ReturnTaint is fn's return summary: the join of every returned
+// expression, in fn's own parameter-bit space. Recursion resolves via
+// cycleTaint, so it never manufactures a finding.
+func (e *Engine) ReturnTaint(fn *Func) Taint {
+	if t, ok := e.retMemo[fn.Key]; ok {
+		return t
+	}
+	if e.retBusy[fn.Key] {
+		return e.cycleTaint()
+	}
+	e.retBusy[fn.Key] = true
+	defer func() { e.retBusy[fn.Key] = false }()
+
+	ev := e.evaluator(fn)
+	t := Untainted
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure's returns are its own
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				for _, obj := range ev.namedResults {
+					t = t.Or(ev.objTaint(obj))
+				}
+				return true
+			}
+			for _, r := range n.Results {
+				t = t.Or(ev.Taint(r))
+			}
+		}
+		return true
+	})
+	e.retMemo[fn.Key] = t
+	return t
+}
+
+func (e *Engine) evaluator(fn *Func) *Evaluator {
+	if ev, ok := e.evals[fn.Key]; ok {
+		return ev
+	}
+	ev := newEvaluator(e, fn)
+	e.evals[fn.Key] = ev
+	return ev
+}
+
+// walkCalls visits every call expression in body, closures included (they
+// run — and allocate and seed — when their enclosing function does).
+func walkCalls(body ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// paramArg pairs a demanded callee parameter with one caller-side argument
+// expression.
+type paramArg struct {
+	name string
+	expr ast.Expr
+}
+
+// demandedArgs maps the set bits of dem (callee parameter indices,
+// receiver = bit 0 for methods) to argument expressions at this call site.
+// A demanded variadic parameter yields every trailing argument.
+func demandedArgs(info *types.Info, call *ast.CallExpr, target *Func, dem uint64) []paramArg {
+	var out []paramArg
+	names, variadic := paramNames(target)
+	base := 0
+	if target.Decl.Recv != nil {
+		base = 1
+		if dem&1 != 0 {
+			if rx := recvExpr(info, call); rx != nil {
+				out = append(out, paramArg{name: names[0], expr: rx})
+			}
+		}
+	}
+	for i := base; i < len(names); i++ {
+		if dem&(1<<uint(i)) == 0 {
+			continue
+		}
+		argIdx := i - base
+		last := i == len(names)-1
+		if variadic && last {
+			for j := argIdx; j < len(call.Args); j++ {
+				out = append(out, paramArg{name: names[i], expr: call.Args[j]})
+			}
+			continue
+		}
+		if argIdx < len(call.Args) {
+			out = append(out, paramArg{name: names[i], expr: call.Args[argIdx]})
+		}
+	}
+	return out
+}
+
+// paramNames lists the callee's parameter names in bit order (receiver
+// first for methods) and whether the final parameter is variadic.
+func paramNames(fn *Func) (names []string, variadic bool) {
+	if fn.Decl.Recv != nil {
+		name := "receiver"
+		if fields := fn.Decl.Recv.List; len(fields) == 1 && len(fields[0].Names) == 1 {
+			name = fields[0].Names[0].Name
+		}
+		names = append(names, name)
+	}
+	for _, field := range fn.Decl.Type.Params.List {
+		if _, ok := field.Type.(*ast.Ellipsis); ok {
+			variadic = true
+		}
+		if len(field.Names) == 0 {
+			names = append(names, "_")
+			continue
+		}
+		for _, id := range field.Names {
+			names = append(names, id.Name)
+		}
+	}
+	return names, variadic
+}

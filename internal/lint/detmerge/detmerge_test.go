@@ -1,0 +1,17 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detmerge"
+)
+
+// TestDetmerge covers map- and channel-order folds of parallel results
+// (directly and behind a fold helper, caught at the call site) and the
+// negatives: folding the ordered slice, and folding non-parallel maps.
+// The fixture's import path mirrors repro/internal/parallel so the
+// analyzer's harness model applies to the stub Map inside it.
+func TestDetmerge(t *testing.T) {
+	analysistest.Run(t, "../testdata", detmerge.Analyzer, "repro/internal/parallel")
+}

@@ -31,10 +31,11 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "flags make/append calls and map iteration inside functions " +
 		"annotated //hot:path, whose contract is zero steady-state allocation",
-	Run: run,
+	Version: "1",
+	Run:     run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -47,7 +48,7 @@ func run(pass *analysis.Pass) error {
 			checkBody(pass, fd)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // isHot reports whether the function's doc comment carries the //hot:path

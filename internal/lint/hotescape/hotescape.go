@@ -1,0 +1,100 @@
+// Package hotescape defines an interprocedural analyzer extending hotalloc
+// across call boundaries (DESIGN.md §12): a function annotated //hot:path
+// must not allocate, and that includes the functions it calls. hotalloc
+// polices the annotated body itself; hotescape walks the static call graph
+// underneath it and reports calls that reach a make, a growing append, or
+// an interface boxing in any transitively reachable callee. It also checks
+// the hot body itself for interface boxing (a dimension hotalloc does not
+// cover — passing a concrete value to an ...any parameter allocates).
+//
+// The summary layer applies an escape exemption: a make with constant size
+// arguments whose result provably never leaves its function is stack
+// -allocated by the compiler and not charged to the hot path. Callees that
+// carry the //hot:path pragma themselves are skipped — they are policed
+// directly, and reporting them again at every caller would double-count.
+package hotescape
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/dataflow"
+)
+
+// Analyzer reports hot-path calls that reach allocations in callees.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotescape",
+	Doc: "report calls from //hot:path functions that reach make/append/" +
+		"interface-boxing allocations in transitively reachable callees",
+	Version:  "1",
+	Requires: []*analysis.Analyzer{dataflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	df := pass.ResultOf[dataflow.Analyzer].(*dataflow.Result)
+	eng := dataflow.NewAllocEngine(df.Index)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dataflow.IsHot(fd) {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			fn := df.Index.ByDecl(fd)
+			if fn == nil {
+				continue
+			}
+			checkHot(pass, eng, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkHot(pass *analysis.Pass, eng *dataflow.AllocEngine, fn *dataflow.Func) {
+	// The hot body's own boxing sites (make/append/map-range are hotalloc's).
+	for _, s := range eng.BoxSites(fn) {
+		pass.Reportf(s.Pos, "interface boxing in //hot:path function %s allocates", fn.Key)
+	}
+
+	// Calls whose callees transitively allocate.
+	seen := map[token.Pos]bool{}
+	info := fn.Pkg.Info
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := dataflow.Callee(info, call)
+		if callee == nil {
+			return true
+		}
+		target := eng.Index.Lookup(dataflow.KeyOf(callee))
+		if target == nil || target == fn || dataflow.IsHot(target.Decl) {
+			return true
+		}
+		reached := eng.Reach(target)
+		if len(reached) == 0 || seen[call.Pos()] {
+			return true
+		}
+		seen[call.Pos()] = true
+		w := reached[0] // first witness is enough for one diagnostic
+		pass.Reportf(call.Pos(),
+			"call from //hot:path function %s reaches %s at %s (via %s)",
+			fn.Key, w.Site.Kind, w.Site.Position, pathString(w.Path))
+		return true
+	})
+}
+
+func pathString(path []*dataflow.Func) string {
+	parts := make([]string, len(path))
+	for i, f := range path {
+		parts[i] = f.Key
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,16 @@
+package hotescape_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotescape"
+)
+
+// TestHotEscape covers callee allocations one and two calls below a
+// //hot:path function, boxing inside the hot body, and the negatives:
+// constant-size local makes (escape-exempt), pure indexing callees, and
+// hot-annotated callees that hotalloc polices directly.
+func TestHotEscape(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotescape.Analyzer, "hotescape", "hotescape_ok")
+}

@@ -2,6 +2,13 @@
 // loaded packages and filters findings through //lint:ignore suppression
 // directives. It is shared by cmd/repolint (the multichecker driver) and by
 // the tier-1 seed-audit test at the repository root.
+//
+// The runner resolves Requires dependencies between analyzers (DESIGN.md
+// §8): required analyzers run first on each package and their results are
+// wired through Pass.ResultOf, so interprocedural passes like
+// internal/lint/dataflow are computed once and shared. Packages are
+// analyzed concurrently through internal/parallel — findings come back in
+// deterministic package order regardless of worker count.
 package lint
 
 import (
@@ -14,23 +21,35 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/checkederr"
+	"repro/internal/lint/detmerge"
 	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/hotescape"
 	"repro/internal/lint/load"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/nogoroutine"
 	"repro/internal/lint/seededrand"
+	"repro/internal/lint/seedflow"
 	"repro/internal/lint/wallclock"
+	"repro/internal/parallel"
 )
+
+// DriverVersion participates in cmd/repolint's action-cache key alongside
+// each analyzer's Version: bump it when the runner's shared semantics
+// (suppression matching, finding order) change.
+const DriverVersion = "2"
 
 // Analyzers is the suite cmd/repolint runs: every invariant DESIGN.md §8
 // documents, in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		checkederr.Analyzer,
+		detmerge.Analyzer,
 		hotalloc.Analyzer,
+		hotescape.Analyzer,
 		maporder.Analyzer,
 		nogoroutine.Analyzer,
 		seededrand.Analyzer,
+		seedflow.Analyzer,
 		wallclock.Analyzer,
 	}
 }
@@ -52,37 +71,135 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer)
 }
 
+// Expand returns analyzers plus their transitive Requires closure in a
+// stable topological order (dependencies before dependents). It errors on
+// dependency cycles.
+func Expand(analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var order []*analysis.Analyzer
+	state := map[*analysis.Analyzer]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(a *analysis.Analyzer) error
+	visit = func(a *analysis.Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
 // Run applies every analyzer to every package and returns the findings that
 // no //lint:ignore directive suppresses, sorted by position then analyzer.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		sup := directives(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if sup.suppresses(a.Name, pos) {
-					return
-				}
-				findings = append(findings, Finding{
-					Analyzer:   a.Name,
-					Position:   pos,
-					Diagnostic: d,
-					Fset:       pkg.Fset,
-				})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
-			}
+	return RunTargets(pkgs, analyzers, nil)
+}
+
+// RunTargets is Run restricted to reporting on the packages whose import
+// path is in targets (nil means all). Every package still participates in
+// the whole-program index handed to interprocedural passes — cmd/repolint
+// loads the dependency cones of its cache misses and reports only on the
+// misses themselves.
+func RunTargets(pkgs []*load.Package, analyzers []*analysis.Analyzer, targets map[string]bool) ([]Finding, error) {
+	order, err := Expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wanted := map[*analysis.Analyzer]bool{}
+	for _, a := range analyzers {
+		wanted[a] = true
+	}
+
+	infos := make([]*analysis.PackageInfo, len(pkgs))
+	for i, pkg := range pkgs {
+		infos[i] = &analysis.PackageInfo{
+			ImportPath: pkg.ImportPath,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
 		}
 	}
+	program := analysis.NewProgram(infos)
+
+	perPkg, err := parallel.Map(parallel.DefaultWorkers(), len(pkgs),
+		func(i int) ([]Finding, error) {
+			pkg := pkgs[i]
+			if targets != nil && !targets[pkg.ImportPath] {
+				return nil, nil
+			}
+			return runPackage(program, pkg, order, wanted)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// runPackage runs the expanded analyzer order over one package, wiring
+// Requires results and filtering reports through suppression directives.
+// Only analyzers in wanted contribute findings; the rest run for their
+// results.
+func runPackage(program *analysis.Program, pkg *load.Package, order []*analysis.Analyzer, wanted map[*analysis.Analyzer]bool) ([]Finding, error) {
+	sup := directives(pkg.Fset, pkg.Files)
+	results := map[*analysis.Analyzer]any{}
+	var findings []Finding
+	for _, a := range order {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			ResultOf:  results,
+			Program:   program,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if !wanted[a] {
+				return
+			}
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppresses(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer:   a.Name,
+				Position:   pos,
+				Diagnostic: d,
+				Fset:       pkg.Fset,
+			})
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+		results[a] = res
+	}
+	return findings, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -96,25 +213,34 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
-// suppressions records //lint:ignore directives: file → line → analyzer
-// names suppressed on that line.
-type suppressions map[string]map[int][]string
+// supRange is one suppressed line span for one analyzer.
+type supRange struct {
+	from, to int
+	analyzer string
+}
+
+// suppressions maps file → suppressed ranges.
+type suppressions map[string][]supRange
 
 // directives collects //lint:ignore directives from every comment in files.
-// A directive written on its own line suppresses matching diagnostics on the
-// next line; written as a trailing comment it suppresses its own line. The
-// form is:
+// The form is:
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // The reason is mandatory — a suppression without a justification is itself
-// a smell.
+// a smell. A directive written as a trailing comment suppresses its own
+// line. A directive on its own line suppresses the next declaration,
+// specification, or statement in the file — the whole node, so a directive
+// above a grouped var/const block covers every line of the block, a
+// directive above one spec inside a block covers just that spec, and a
+// blank line between the directive and the code it governs does not break
+// the association.
 func directives(fset *token.FileSet, files []*ast.File) suppressions {
 	sup := suppressions{}
 	for _, f := range files {
+		codeLines, spans := fileLayout(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -127,28 +253,75 @@ func directives(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if sup[pos.Filename] == nil {
-					sup[pos.Filename] = map[int][]string{}
+				r := supRange{analyzer: fields[0]}
+				if codeLines[pos.Line] {
+					// Trailing comment: suppresses its own line.
+					r.from, r.to = pos.Line, pos.Line
+				} else {
+					r.from, r.to = nextSpan(spans, pos.Line)
 				}
-				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], fields[0])
+				sup[pos.Filename] = append(sup[pos.Filename], r)
 			}
 		}
 	}
 	return sup
 }
 
-// suppresses reports whether a directive on the diagnostic's line or the
-// line above names the analyzer.
-func (s suppressions) suppresses(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
+// lineSpan is the line extent of one decl, spec, or statement.
+type lineSpan struct {
+	start, end int
+}
+
+// fileLayout records which lines carry code (for trailing-comment
+// detection) and the spans of every declaration, specification, and
+// statement (for standalone-directive attachment), sorted by start line.
+func fileLayout(fset *token.FileSet, f *ast.File) (map[int]bool, []lineSpan) {
+	codeLines := map[int]bool{}
+	var spans []lineSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		switch n.(type) {
+		case ast.Decl, ast.Spec, ast.Stmt:
+			spans = append(spans, lineSpan{
+				start: fset.Position(n.Pos()).Line,
+				end:   fset.Position(n.End()).Line,
+			})
+		}
+		return true
+	})
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].end < spans[j].end
+	})
+	return codeLines, spans
+}
+
+// nextSpan returns the line range governed by a standalone directive at
+// line: the full extent of the first node starting after it. With no such
+// node the directive governs only the following line.
+func nextSpan(spans []lineSpan, line int) (from, to int) {
+	for _, s := range spans {
+		if s.start > line {
+			return s.start, s.end
+		}
 	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
-			}
+	return line + 1, line + 1
+}
+
+// suppresses reports whether a directive's governed range covers the
+// diagnostic's line for this analyzer.
+func (s suppressions) suppresses(analyzer string, pos token.Position) bool {
+	for _, r := range s[pos.Filename] {
+		if r.analyzer == analyzer && pos.Line >= r.from && pos.Line <= r.to {
+			return true
 		}
 	}
 	return false

@@ -13,6 +13,7 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 	"repro/internal/lint/maporder"
+	"repro/internal/lint/seededrand"
 )
 
 // fixtureSrc has one maporder violation (unsorted), one suppressed by a
@@ -49,15 +50,19 @@ func clean(m map[string]int) []string {
 }
 `
 
-// checkFile parses and type-checks one on-disk file as a throwaway package.
-func checkFile(t *testing.T, path string) *load.Package {
+// checkFile parses and type-checks one on-disk file as a throwaway package
+// importing the named standard-library dependencies.
+func checkFile(t *testing.T, path string, deps ...string) *load.Package {
 	t.Helper()
+	if len(deps) == 0 {
+		deps = []string{"sort"}
+	}
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exports, err := load.StdExports(".", "sort")
+	exports, err := load.StdExports(".", deps...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,5 +127,63 @@ func TestSuppressionAndFix(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("fixed file should be clean, got: %v", findings)
+	}
+}
+
+// suppressionSrc exercises every attachment rule for standalone and trailing
+// directives: a directive above a grouped var block governs the whole block,
+// a directive above one spec inside a group governs just that spec, a blank
+// line between directive and code does not break the association, and a
+// trailing directive governs its own line. Only d and g may be reported.
+const suppressionSrc = `package demo
+
+import "math/rand"
+
+//lint:ignore seededrand fixture: the whole group is grandfathered
+var (
+	a = rand.Intn(1)
+
+	b = rand.Intn(2)
+)
+
+var (
+	//lint:ignore seededrand fixture: only c is grandfathered
+	c = rand.Intn(3)
+	d = rand.Intn(4)
+)
+
+//lint:ignore seededrand fixture: a blank line does not break the association
+
+var e = rand.Intn(5)
+
+var f = rand.Intn(6) //lint:ignore seededrand fixture: trailing directive
+
+var g = rand.Intn(7)
+`
+
+// TestSuppressionGroupsAndBlankLines is the regression test for directive
+// attachment: grouped var/const blocks, spec-level directives inside groups,
+// blank-line separation, and trailing directives.
+func TestSuppressionGroupsAndBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.go")
+	if err := os.WriteFile(path, []byte(suppressionSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*load.Package{checkFile(t, path, "math/rand")},
+		[]*analysis.Analyzer{seededrand.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range findings {
+		if f.Analyzer != "seededrand" {
+			t.Fatalf("unexpected analyzer in finding: %v", f)
+		}
+		lines = append(lines, f.Position.Line)
+	}
+	// d is on line 15 and g on line 24 of suppressionSrc.
+	want := []int{15, 24}
+	if len(lines) != len(want) || lines[0] != want[0] || lines[1] != want[1] {
+		t.Fatalf("want findings exactly on lines %v (d and g), got %v: %v", want, lines, findings)
 	}
 }

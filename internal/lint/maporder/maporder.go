@@ -34,10 +34,11 @@ var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc: "flags range-over-map loops whose body appends, emits, or " +
 		"accumulates order-sensitively without a subsequent sort",
-	Run: run,
+	Version: "1",
+	Run:     run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -67,7 +68,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // rangeOverMap unwraps stmt (through labels) to a range statement whose

@@ -20,12 +20,13 @@ var Analyzer = &analysis.Analyzer{
 	Name: "nogoroutine",
 	Doc: "restricts go statements and raw sync.WaitGroup fan-out to " +
 		"internal/parallel, the deterministic worker pool",
-	Run: run,
+	Version: "1",
+	Run:     run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	if strings.HasSuffix(pass.Pkg.Path(), "internal/parallel") || pass.Pkg.Path() == "parallel" {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
@@ -49,7 +50,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.

@@ -21,7 +21,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "seededrand",
 	Doc: "bans global math/rand calls and wall-clock seeding so every draw " +
 		"flows through an explicitly seeded *rand.Rand",
-	Run: run,
+	Version: "1",
+	Run:     run,
 }
 
 // constructors are the package-level math/rand functions that are allowed:
@@ -34,7 +35,7 @@ var constructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -72,7 +73,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // wallClockCall reports the first time.Now/time.Since call nested in expr,

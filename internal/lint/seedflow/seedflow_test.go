@@ -1,0 +1,15 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/seedflow"
+)
+
+// TestSeedflow covers literal seeds at and behind construction sites,
+// loop-index re-seeding, struct-field threading, and the rooted negatives
+// (Seed fields, seed constants, mixing, closure task seeds, redraws).
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", seedflow.Analyzer, "seedflow", "seedflow_ok")
+}

@@ -2,6 +2,7 @@
 package checkederr
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"strings"
@@ -12,7 +13,7 @@ func save(path string, rows []string) {
 	if err != nil {
 		return
 	}
-	defer f.Close() // DeferStmt: deliberately out of scope
+	defer f.Close() // want `unchecked error: deferred f.Close discards its error`
 	for _, r := range rows {
 		fmt.Fprintln(f, r) // fmt print family: allowlisted
 	}
@@ -22,7 +23,13 @@ func save(path string, rows []string) {
 
 func cleanup(path string) {
 	os.Remove(path)     // want `unchecked error: result of os.Remove is discarded`
-	_ = os.Remove(path) // explicit discard: allowed (reviewer sees the _)
+	_ = os.Remove(path) // explicit single-blank discard: allowed (reviewer sees the _)
+}
+
+func blanks(f *os.File, data []byte) {
+	_, _ = f.Write(data) // want `unchecked error: result of f.Write is discarded by an all-blank assignment`
+	n, _ := f.Write(data)
+	_ = n // partial blanks bind a real result: not an all-blank discard
 }
 
 func render(rows []string) string {
@@ -31,4 +38,28 @@ func render(rows []string) string {
 		b.WriteString(r) // strings.Builder never fails: allowlisted
 	}
 	return b.String()
+}
+
+func digest(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data)        // hash.Hash.Write never fails: allowlisted
+	_, _ = h.Write(data) // likewise through a blank assignment
+	return h.Sum(nil)
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func deferClose(c closer) error {
+	defer c.Close() // want `unchecked error: deferred c.Close discards its error`
+	return nil
+}
+
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func deferQuiet(q quietCloser) {
+	defer q.Close() // Close without an error result: nothing to drop
 }

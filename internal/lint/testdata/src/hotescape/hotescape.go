@@ -1,0 +1,36 @@
+// Positive cases: a hot function whose callee allocates (directly and two
+// calls deep) and interface boxing inside the hot body itself.
+package hotescape
+
+import "fmt"
+
+// grow allocates: append may grow the backing array.
+func grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// scratch allocates a non-constant-size buffer that escapes via return.
+func scratch(n int) []byte {
+	return make([]byte, n)
+}
+
+// indirect hides the allocation one more call down.
+func indirect(n int) []byte {
+	return scratch(n)
+}
+
+//hot:path
+func Hot(xs []int, v int) []int {
+	return grow(xs, v) // want `call from //hot:path function hotescape\.Hot reaches append`
+}
+
+//hot:path
+func HotDeep(n int) int {
+	buf := indirect(n) // want `reaches make .* \(via hotescape\.indirect -> hotescape\.scratch\)`
+	return len(buf)
+}
+
+//hot:path
+func HotBox(n int) string {
+	return fmt.Sprint(n) // want `interface boxing in //hot:path function hotescape\.HotBox allocates`
+}

@@ -1,0 +1,96 @@
+// detmerge fixture: the package path mirrors repro/internal/parallel so the
+// analyzer's model of the harness entry points applies to the stub Map
+// below. Positive cases launder task-ordered results through a map or a
+// channel and fold from there; negative cases fold the ordered slice
+// directly or fold non-parallel data.
+package parallel
+
+// Map stands in for the real harness: returns task-ordered results.
+func Map(workers, n int, fn func(task int) (float64, error)) ([]float64, error) {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// badMapFold launders the ordered results through a map keyed by task ID
+// and folds in hash order.
+func badMapFold(n int) float64 {
+	res, _ := Map(1, n, func(i int) (float64, error) { return float64(i), nil })
+	byID := map[int]float64{}
+	for i, v := range res {
+		byID[i] = v
+	}
+	sum := 0.0
+	for _, v := range byID { // want `parallel results folded in nondeterministic order: fold over map iteration order`
+		sum += v
+	}
+	return sum
+}
+
+// badChanFold drains results through a channel and folds in arrival order.
+func badChanFold(n int) float64 {
+	res, _ := Map(1, n, func(i int) (float64, error) { return float64(i), nil })
+	ch := make(chan float64, n)
+	for _, v := range res {
+		ch <- v
+	}
+	close(ch)
+	total := 0.0
+	for v := range ch { // want `fold over channel arrival order`
+		total += v
+	}
+	return total
+}
+
+// mergeByID is the fold behind a helper: the map parameter is demanded, so
+// the judgment moves to call sites (no diagnostic here — non-parallel
+// callers like cleanCaller stay clean).
+func mergeByID(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// badHelperFold is caught at the call that hands parallel results to the
+// unordered fold.
+func badHelperFold(n int) float64 {
+	res, _ := Map(1, n, func(i int) (float64, error) { return float64(i), nil })
+	byID := map[int]float64{}
+	for i, v := range res {
+		byID[i] = v
+	}
+	return mergeByID(byID) // want `parameter "m" of repro/internal/parallel\.mergeByID is folded in unordered iteration`
+}
+
+// goodSliceFold folds the ordered slice directly: deterministic.
+func goodSliceFold(n int) float64 {
+	res, _ := Map(1, n, func(i int) (float64, error) { return float64(i), nil })
+	sum := 0.0
+	for _, v := range res {
+		sum += v
+	}
+	return sum
+}
+
+// goodLocalMap folds a map of non-parallel data: maporder's business, not
+// detmerge's.
+func goodLocalMap(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// cleanCaller hands non-parallel data to the shared fold helper.
+func cleanCaller(weights map[int]float64) float64 {
+	return mergeByID(weights)
+}

@@ -1,0 +1,46 @@
+// Positive cases: literal seeds at the construction site, literal seeds
+// hidden behind a helper call, re-seeding from a bare loop index, and a
+// literal seed threaded through a struct field across a call boundary.
+package seedflow
+
+import "math/rand"
+
+// direct seeds a stream with a literal at the construction site.
+func direct() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `seed is not derived from a study seed: seed for math/rand\.NewSource`
+}
+
+// newRng is the helper: the seed is a parameter, so the judgment moves to
+// every call site (no diagnostic here).
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// helper hides the literal behind newRng — caught interprocedurally.
+func helper() *rand.Rand {
+	return newRng(1234) // want `argument for seed parameter "seed" of seedflow\.newRng`
+}
+
+// loop re-seeds streams from the bare loop index: every run collides.
+func loop(rs []*rand.Rand) {
+	for i := range rs {
+		rs[i] = rand.New(rand.NewSource(int64(i))) // want `seed for math/rand\.NewSource`
+	}
+}
+
+// carrier threads the seed through a struct field; the field is not a
+// seed-named root, so the struct parameter is demanded at call sites.
+type carrier struct{ n int64 }
+
+func build(c carrier) *rand.Rand {
+	return rand.New(rand.NewSource(c.n))
+}
+
+func top() *rand.Rand {
+	return build(carrier{n: 7}) // want `argument for seed parameter "c" of seedflow\.build`
+}
+
+// reseed overwrites an injected stream's state with a constant.
+func reseed(r *rand.Rand) {
+	r.Seed(99) // want `seed for math/rand\.Rand\.Seed`
+}

@@ -1,0 +1,52 @@
+// Negative cases: seeds derived from Seed-named struct fields, package
+// seed constants, mixing a rooted seed with an index, closure task-seed
+// parameters, and draws from an already-rooted stream.
+package seedflow_ok
+
+import "math/rand"
+
+// Config carries the study seed: the Seed field is a taint root.
+type Config struct{ Seed int64 }
+
+// BaseSeed is a package-level seed constant: also a root.
+const BaseSeed int64 = 0x51afd54a1b5f72c9
+
+func fromField(c Config) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+func fromConst() *rand.Rand {
+	return rand.New(rand.NewSource(BaseSeed))
+}
+
+// mixed derives a per-task seed by mixing the rooted seed with an index:
+// OR semantics keep it rooted.
+func mixed(c Config, i int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed + int64(i)))
+}
+
+// closure parameters named like seeds are roots — the parallel harness
+// hands task seeds to closures, which are not call-site checkable.
+func worker(n int) int64 {
+	run := func(taskSeed int64) int64 {
+		r := rand.New(rand.NewSource(taskSeed))
+		return r.Int63()
+	}
+	return run(int64(n))
+}
+
+// redraw derives a new stream from a draw of an already-rooted stream.
+func redraw(c Config) *rand.Rand {
+	r := rand.New(rand.NewSource(c.Seed))
+	return rand.New(rand.NewSource(r.Int63()))
+}
+
+// conduit takes a non-seed-named parameter to a sink: judged at call
+// sites, and its only caller passes a rooted value.
+func conduit(v int64) *rand.Rand {
+	return rand.New(rand.NewSource(v))
+}
+
+func caller(c Config) *rand.Rand {
+	return conduit(c.Seed)
+}

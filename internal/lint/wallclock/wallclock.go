@@ -27,7 +27,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "bans time.Now/time.Since/time.Until/time.Sleep in simulation " +
 		"packages, where time must come from the event clock",
-	Run: run,
+	Version: "1",
+	Run:     run,
 }
 
 // simPackages are the import-path leaf names of the packages whose time is
@@ -52,10 +53,10 @@ var banned = map[string]bool{
 	"Sleep": true,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	parts := strings.Split(pass.Pkg.Path(), "/")
 	if !simPackages[parts[len(parts)-1]] {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
@@ -76,5 +77,5 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }

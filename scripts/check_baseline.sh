@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI gate for the lint baseline (DESIGN.md §8):
+#
+#   1. repolint with -baseline must report no findings beyond the committed
+#      baseline — new findings fail CI immediately;
+#   2. the baseline must never grow stale: every entry still has to
+#      correspond to a live finding. A fixed finding whose entry lingers
+#      would silently widen the budget for future regressions, so the
+#      committed baseline is compared against a fresh regeneration and any
+#      shrinkage must be committed.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "checking for findings beyond lint.baseline.json..."
+go run ./cmd/repolint -baseline lint.baseline.json -json ./...
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+go run ./cmd/repolint -write-baseline "$fresh" ./...
+
+# One "analyzer" key per finding in the baseline document.
+committed=$(grep -c '"analyzer"' lint.baseline.json || true)
+live=$(grep -c '"analyzer"' "$fresh" || true)
+if [ "$committed" -gt "$live" ]; then
+	echo "lint.baseline.json is stale: $committed baselined finding(s) but only $live live." >&2
+	echo "Some baselined findings were fixed — shrink the baseline:" >&2
+	echo "    sh scripts/regen_baseline.sh" >&2
+	exit 1
+fi
+echo "baseline ok: $live finding(s) baselined, none stale"

@@ -7,28 +7,36 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 	"repro/internal/lint/seededrand"
+	"repro/internal/lint/seedflow"
 )
 
-// TestNoSeedEscapingRand enforces the repository's determinism convention
+// TestSeedAudit enforces the repository's determinism convention
 // (DESIGN.md §6): every random draw flows through an explicitly seeded
-// *rand.Rand, so no code path escapes the experiment seed. The global
-// math/rand source is process-wide state whose stream depends on what ran
-// before — one call through it silently breaks reproducibility.
+// generator, and every generator's seed is dataflow-derivable from a study
+// seed. Two analyzers from internal/lint share the work (both also run via
+// cmd/repolint and `make lint`):
 //
-// The check is the seededrand analyzer from internal/lint (also run by
-// cmd/repolint and `make lint`): unlike the regex scan it replaced, it is
-// type-aware, so import aliases, dot imports, and wall-clock seeding
-// (rand.NewSource(time.Now().UnixNano())) cannot slip past it.
-func TestNoSeedEscapingRand(t *testing.T) {
+//   - seededrand bans draws from the global math/rand source and wall-clock
+//     seeding, type-aware so aliases and dot imports cannot slip past;
+//   - seedflow follows seeds across call boundaries and reports RNG
+//     construction sites whose seed does not derive from a Study/Scenario
+//     seed — literal seeds hidden behind helpers, loop-index reseeding,
+//     seeds threaded through struct fields.
+//
+// This one smoke test replaces the earlier per-pattern seed audit: the
+// analyzers' own fixtures (internal/lint/{seededrand,seedflow}/testdata)
+// carry the positive cases, so the repo-wide run here only needs to assert
+// the codebase is clean.
+func TestSeedAudit(t *testing.T) {
 	pkgs, err := load.Packages(".", true, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := lint.Run(pkgs, []*analysis.Analyzer{seededrand.Analyzer})
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{seededrand.Analyzer, seedflow.Analyzer})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
-		t.Errorf("%s:%d: %s", f.Position.Filename, f.Position.Line, f.Diagnostic.Message)
+		t.Errorf("%s:%d: %s (%s)", f.Position.Filename, f.Position.Line, f.Diagnostic.Message, f.Analyzer)
 	}
 }
