@@ -10,9 +10,10 @@
 #   make benchckpt  — checkpoint overhead gate (DESIGN.md §11, ≤5%)
 #   make benchsoa   — structure-of-arrays speedup gate (DESIGN.md §12, ≥3x)
 #   make benchlint  — incremental lint driver gate (DESIGN.md §8, warm ≤2x vet)
+#   make benchshard — sharded million-node engine gate (DESIGN.md §13, core-aware)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint clean clean-lintcache
+.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint benchshard clean clean-lintcache
 
 all: check
 
@@ -35,12 +36,13 @@ test:
 	$(GO) test ./...
 
 # race runs the race detector over the packages that actually share memory
-# across goroutines: the worker pool, the observability layer it feeds, and
-# the fault engine whose injectors run inside pool workers. The rest of the
-# tree is single-threaded by construction (enforced by the nogoroutine
+# across goroutines: the worker pool, the observability layer it feeds, the
+# fault engine whose injectors run inside pool workers, and the sharded
+# gridsim engine whose shard gang ticks one world concurrently. The rest of
+# the tree is single-threaded by construction (enforced by the nogoroutine
 # analyzer), so a full -race sweep only slows the gate down.
 race:
-	$(GO) test -race ./internal/faults/... ./internal/parallel/... ./internal/obs/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/faults/... ./internal/parallel/... ./internal/obs/... ./internal/checkpoint/... ./internal/gridsim/...
 
 # check is the tier-1 gate every PR must keep green (see README).
 check: build lint test race
@@ -69,7 +71,7 @@ baselinecheck:
 # harness.
 ci: check fmtcheck baselinecheck crash
 
-bench: benchobs benchckpt benchsoa
+bench: benchobs benchckpt benchsoa benchshard
 	$(GO) test -bench=. -benchmem ./...
 
 # benchjson regenerates BENCH_parallel.json: ns/op for the sequential vs
@@ -101,6 +103,14 @@ benchsoa:
 # `go vet ./...`.
 benchlint:
 	$(GO) run ./cmd/benchjson -lint -out BENCH_lint.json
+
+# benchshard regenerates BENCH_shard.json and enforces the DESIGN.md §13
+# gate on the million-node sharded engine. The gate is core-aware: with 4+
+# CPUs the best multi-shard configuration must hold a 2x speedup over
+# single-shard; on smaller hosts a 0.8x no-regression floor runs instead
+# (shard parallelism cannot exceed the physical core count).
+benchshard:
+	$(GO) run ./cmd/benchjson -shard -out BENCH_shard.json
 
 clean: clean-lintcache
 	$(GO) clean ./...

@@ -352,9 +352,9 @@ func BenchmarkAblationSpanRatio(b *testing.B) {
 			b.ReportAllocs()
 			var synced, forks float64
 			for i := 0; i < b.N; i++ {
-				g, err := gridsim.New(gridsim.Config{
-					Size: 25, SpanRatio: span, FailureRate: 0.10, Seed: 3,
-				})
+				g, err := gridsim.New(3,
+					gridsim.WithSize(25), gridsim.WithSpanRatio(span),
+					gridsim.WithFailureRate(0.10))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -408,9 +408,9 @@ func BenchmarkAblationFailureRate(b *testing.B) {
 			b.ReportAllocs()
 			var forks float64
 			for i := 0; i < b.N; i++ {
-				g, err := gridsim.New(gridsim.Config{
-					Size: 25, SpanRatio: 0.5, FailureRate: failure, Seed: 5,
-				})
+				g, err := gridsim.New(5,
+					gridsim.WithSize(25), gridsim.WithSpanRatio(0.5),
+					gridsim.WithFailureRate(failure))
 				if err != nil {
 					b.Fatal(err)
 				}

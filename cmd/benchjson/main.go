@@ -11,6 +11,7 @@
 //	benchjson -checkpoint [-maxoverhead 5] [-out BENCH_checkpoint.json]
 //	benchjson -soa [-minspeedup 3] [-rounds 8] [-out BENCH_soa.json]
 //	benchjson -lint [-maxratio 2] [-out BENCH_lint.json]
+//	benchjson -shard [-shardminspeedup 2] [-floor 0.8] [-out BENCH_shard.json]
 //
 // With -out "-" the report goes to stdout. The -obs mode measures the
 // observability layer instead: each hot workload runs with instrumentation
@@ -35,6 +36,15 @@
 // fails when the warm run exceeds -maxratio times the vet time — the
 // cache must keep the repo's own analyzers cheap enough to run on every
 // build.
+//
+// The -shard mode gates the sharded million-node engine (DESIGN.md §13):
+// a 1000×1000 grid world is advanced one block interval at shard counts
+// 1, 4, and 16, min-of-rounds. Because shard parallelism cannot exceed
+// the physical core count, the gate is core-aware: with 4+ CPUs the best
+// multi-shard configuration must reach -shardminspeedup over single-shard;
+// on smaller hosts the -floor no-regression gate runs instead (sharding
+// bookkeeping must not cost more than the floor allows). The report
+// records which gate armed.
 //
 // In the default mode any pair whose parallel speedup falls below 1.0 is
 // flagged in the summary: on few-core hosts the worker fan-out of the
@@ -93,6 +103,10 @@ func run(args []string) error {
 	ckptMode := fs.Bool("checkpoint", false, "measure checkpoint-journal overhead (off vs on) instead of the parallel pairs")
 	soaMode := fs.Bool("soa", false, "gate the SoA hot paths against the pre-rewrite baselines")
 	lintMode := fs.Bool("lint", false, "measure cold vs warm repolint wall time against go vet")
+	shardMode := fs.Bool("shard", false, "measure the million-node sharded grid world at shard counts 1/4/16")
+	shardFloor := fs.Float64("floor", 0.8, "with -shard on hosts under 4 CPUs: fail when multi-shard throughput falls below this fraction of single-shard")
+	shardRounds := fs.Int("shardrounds", 3, "with -shard: measurement rounds per configuration (minimum taken)")
+	shardMinSpeedup := fs.Float64("shardminspeedup", 2, "with -shard on hosts with 4+ CPUs: fail when the best multi-shard speedup is below this")
 	maxRatio := fs.Float64("maxratio", 2, "with -lint: fail when the warm repolint run exceeds this multiple of go vet")
 	maxOverhead := fs.Float64("maxoverhead", 5, "with -obs/-checkpoint: fail when any workload's overhead exceeds this percentage")
 	minSpeedup := fs.Float64("minspeedup", 3, "with -soa: fail when any workload speeds up less than this over its baseline")
@@ -129,6 +143,12 @@ func run(args []string) error {
 			*out = "BENCH_lint.json"
 		}
 		return runLint(*maxRatio, *out)
+	}
+	if *shardMode {
+		if *out == "" {
+			*out = "BENCH_shard.json"
+		}
+		return runShard(w, *shardMinSpeedup, *shardFloor, *shardRounds, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_parallel.json"

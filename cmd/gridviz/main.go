@@ -38,15 +38,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	g, err := gridsim.New(gridsim.Config{
-		Size:          *size,
-		SpanRatio:     *span,
-		FailureRate:   *failure,
-		AttackerShare: *share,
-		AttackerRow:   7 % *size,
-		AttackerCol:   7 % *size,
-		Seed:          *seed,
-	})
+	g, err := gridsim.New(*seed,
+		gridsim.WithSize(*size),
+		gridsim.WithSpanRatio(*span),
+		gridsim.WithFailureRate(*failure),
+		gridsim.WithAttacker(*share, 7%*size, 7%*size),
+	)
 	if err != nil {
 		return err
 	}

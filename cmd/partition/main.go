@@ -83,6 +83,8 @@ func run(args []string) (int, error) {
 	resume := fs.Bool("resume", false, "replay completed experiments from the -checkpoint journal instead of re-running them")
 	onFault := fs.String("onfault", "degrade", "failed-experiment policy under -checkpoint: degrade (quarantine and continue) or fail (abort the sweep)")
 	stepBudget := fs.Int("stepbudget", 0, "grid-simulation step watchdog: cancel any replicate exceeding this many steps (0 disables)")
+	shards := fs.Int("shards", 0, "run grid simulations on the sharded engine with this many shards (0 = legacy engine); output is identical for every count >= 1")
+	shardWorkers := fs.Int("shardworkers", 0, "goroutines ticking shards inside one sharded world (0 = one per CPU); output is identical either way")
 	if err := fs.Parse(args[2:]); err != nil {
 		return exitHardError, err
 	}
@@ -103,6 +105,12 @@ func run(args []string) (int, error) {
 	}
 	if *stepBudget > 0 {
 		opts = append(opts, core.WithStepBudget(*stepBudget))
+	}
+	if *shardWorkers != 0 && *shards == 0 {
+		return exitHardError, fmt.Errorf("-shardworkers needs -shards >= 1")
+	}
+	if *shards > 0 {
+		opts = append(opts, core.WithShards(*shards), core.WithShardWorkers(*shardWorkers))
 	}
 	if *faultsName != "" {
 		scenario, err := faults.Preset(*faultsName)

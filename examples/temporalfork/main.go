@@ -18,19 +18,15 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	g, err := gridsim.New(gridsim.Config{
-		Size:          25,
-		SpanRatio:     2.0,
-		FailureRate:   0.10,
-		AttackerShare: 0.30,
-		AttackerRow:   7,
-		AttackerCol:   7,
+	g, err := gridsim.New(2,
+		gridsim.WithSize(25),
+		gridsim.WithSpanRatio(2.0),
+		gridsim.WithFailureRate(0.10),
+		gridsim.WithAttacker(0.30, 7, 7),
 		// The attacker holds a radius-5 region open via targeted
 		// communication disruption for the first 200 steps.
-		BoundaryRadius: 5,
-		BoundaryUntil:  200,
-		Seed:           2,
-	})
+		gridsim.WithBoundary(5, 0, 200),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

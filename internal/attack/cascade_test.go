@@ -50,12 +50,11 @@ func borderSim(t *testing.T, seed int64) *netsim.Simulation {
 			outbound[i] = append(outbound[i], p2p.NodeID(p))
 		}
 	}
-	sim, err := netsim.NewWithGraph(netsim.Config{
-		Nodes:        total,
-		Seed:         seed,
-		GatewayNodes: []p2p.NodeID{total - 1},
-		Gossip:       p2p.Config{FailureRate: 0.10},
-	}, nodes, outbound)
+	sim, err := netsim.New(seed,
+		netsim.WithNodes(nodes),
+		netsim.WithGraph(outbound),
+		netsim.WithGateways([]p2p.NodeID{total - 1}),
+		netsim.WithGossip(p2p.Config{FailureRate: 0.10}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,30 +109,32 @@ func TestCascadeGatewayPinning(t *testing.T) {
 	}
 }
 
-func TestNewWithGraphValidation(t *testing.T) {
+func TestWithGraphValidation(t *testing.T) {
 	nodes := []*p2p.Node{p2p.NewNode(0, p2p.Profile{}), p2p.NewNode(1, p2p.Profile{})}
+	graphSim := func(outbound [][]p2p.NodeID, extra ...netsim.Option) error {
+		opts := append([]netsim.Option{netsim.WithNodes(nodes), netsim.WithGraph(outbound)}, extra...)
+		_, err := netsim.New(1, opts...)
+		return err
+	}
 	// Row count mismatch.
-	if _, err := netsim.NewWithGraph(netsim.Config{Nodes: 2, Seed: 1}, nodes, [][]p2p.NodeID{{1}}); err == nil {
+	if err := graphSim([][]p2p.NodeID{{1}}); err == nil {
 		t.Error("row mismatch accepted")
 	}
 	// Self loop.
-	if _, err := netsim.NewWithGraph(netsim.Config{Nodes: 2, Seed: 1}, nodes,
-		[][]p2p.NodeID{{0}, {0}}); err == nil {
+	if err := graphSim([][]p2p.NodeID{{0}, {0}}); err == nil {
 		t.Error("self loop accepted")
 	}
 	// Out of range.
-	if _, err := netsim.NewWithGraph(netsim.Config{Nodes: 2, Seed: 1}, nodes,
-		[][]p2p.NodeID{{5}, {0}}); err == nil {
+	if err := graphSim([][]p2p.NodeID{{5}, {0}}); err == nil {
 		t.Error("out-of-range peer accepted")
 	}
 	// Valid.
-	if _, err := netsim.NewWithGraph(netsim.Config{Nodes: 2, Seed: 1}, nodes,
-		[][]p2p.NodeID{{1}, {0}}); err != nil {
+	if err := graphSim([][]p2p.NodeID{{1}, {0}}); err != nil {
 		t.Errorf("valid graph rejected: %v", err)
 	}
 	// Gateway out of range.
-	if _, err := netsim.NewWithGraph(netsim.Config{Nodes: 2, Seed: 1, GatewayNodes: []p2p.NodeID{9}},
-		nodes, [][]p2p.NodeID{{1}, {0}}); err == nil {
+	if err := graphSim([][]p2p.NodeID{{1}, {0}},
+		netsim.WithGateways([]p2p.NodeID{9})); err == nil {
 		t.Error("out-of-range gateway accepted")
 	}
 }

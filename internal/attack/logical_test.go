@@ -138,11 +138,11 @@ func TestExecuteLogicalCapture(t *testing.T) {
 			}
 			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{Version: version})
 		}
-		sim, err := netsim.NewWithNodes(netsim.Config{
-			Nodes: 100, Seed: seed,
+		sim, err := netsim.FromConfig(netsim.Config{
+			Population: nodes, Seed: seed,
 			GatewayNodes: []p2p.NodeID{99}, // gateway runs "other"
 			Gossip:       p2p.Config{FailureRate: 0.10},
-		}, nodes)
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

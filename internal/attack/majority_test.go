@@ -89,10 +89,10 @@ func TestCascadeRequiresLocalityBias(t *testing.T) {
 			}
 			nodes[i] = p2p.NewNode(p2p.NodeID(i), p2p.Profile{ASN: asn})
 		}
-		sim, err := netsim.NewWithNodes(netsim.Config{
-			Nodes: 100, Seed: 31,
+		sim, err := netsim.FromConfig(netsim.Config{
+			Population: nodes, Seed: 31,
 			Gossip: p2p.Config{FailureRate: 0.10, SameASBias: bias},
-		}, nodes)
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

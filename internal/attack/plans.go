@@ -215,14 +215,15 @@ func (p *cascadePlan) Run(_ *netsim.Simulation, reg *obs.Registry) (Result, erro
 				outbound[i] = append(outbound[i], p2p.NodeID(pr))
 			}
 		}
-		return netsim.NewWithGraph(netsim.Config{
-			Nodes:        total,
+		return netsim.FromConfig(netsim.Config{
+			Population:   nodes,
+			Outbound:     outbound,
 			Seed:         env.Seed + 7,
 			GatewayNodes: []p2p.NodeID{total - 1}, // honest blocks enter outside
 			Obs:          env.Obs,
 			Faults:       env.Faults,
 			Gossip:       p2p.Config{FailureRate: 0.10},
-		}, nodes, outbound)
+		})
 	}
 	var b strings.Builder
 	b.WriteString("Eclipse cascade: partial AS cut, interior nodes relaying via border nodes\n")

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/gridsim"
 	"repro/internal/mining"
 	"repro/internal/obs"
 )
@@ -54,6 +55,14 @@ type Options struct {
 	// instead of spinning forever under a pathological fault scenario.
 	// Zero — the default — disarms the watchdog.
 	StepBudget int
+	// Shards, when >= 1, runs every grid simulation the study builds on
+	// the sharded engine (DESIGN.md §13) with that many shards. Study
+	// output is byte-identical for every shard count >= 1; zero — the
+	// default — keeps the legacy sequential engine. ShardWorkers bounds
+	// the goroutines ticking shards inside one world (0 = one per CPU)
+	// and, like Workers, never changes results.
+	Shards       int
+	ShardWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +159,36 @@ func WithFaults(sc faults.Scenario) Option {
 // wrapping checkpoint.ErrBudget.
 func WithStepBudget(n int) Option {
 	return func(o *Options) { o.StepBudget = n }
+}
+
+// WithShards runs every grid simulation the study builds on the sharded
+// engine with k shards (DESIGN.md §13):
+//
+//	study, err := core.New(1, core.WithShards(16))
+//
+// Study output is byte-identical for every k >= 1; 0 keeps the legacy
+// engine.
+func WithShards(k int) Option {
+	return func(o *Options) { o.Shards = k }
+}
+
+// WithShardWorkers bounds the goroutines ticking shards inside one sharded
+// world (0 = one per CPU). Never changes results.
+func WithShardWorkers(w int) Option {
+	return func(o *Options) { o.ShardWorkers = w }
+}
+
+// gridOptions prepends the study-wide grid settings — lattice side and the
+// sharding mode — to an experiment's own options, so every grid world a
+// study builds shares one engine selection.
+func (s *Study) gridOptions(opts ...gridsim.Option) []gridsim.Option {
+	base := []gridsim.Option{gridsim.WithSize(s.Opts.GridSize)}
+	if s.Opts.Shards >= 1 {
+		base = append(base,
+			gridsim.WithShards(s.Opts.Shards),
+			gridsim.WithShardWorkers(s.Opts.ShardWorkers))
+	}
+	return append(base, opts...)
 }
 
 // New generates (or reuses, per seed) the synthetic population and wraps

@@ -52,18 +52,18 @@ func (s *Study) NewSimFromPopulationBias(n int, seed int64, sameASBias float64) 
 		})
 		nodes = append(nodes, node)
 	}
-	return netsim.NewWithNodes(netsim.Config{
-		Nodes:  n,
-		Seed:   seed,
-		Pools:  dataset.TableIV(),
-		Obs:    s.Opts.Obs,
-		Faults: s.Opts.Faults,
+	return netsim.FromConfig(netsim.Config{
+		Population: nodes,
+		Seed:       seed,
+		Pools:      dataset.TableIV(),
+		Obs:        s.Opts.Obs,
+		Faults:     s.Opts.Faults,
 		Gossip: p2p.Config{
 			FailureRate:    0.10,
 			MeanRelayDelay: 2 * time.Second,
 			SameASBias:     sameASBias,
 		},
-	}, nodes)
+	})
 }
 
 // Figure1Demo runs the full model of Figure 1: full nodes plus the

@@ -241,23 +241,18 @@ func Figure7Steps() []int { return []int{151, 201, 251} }
 func (s *Study) Figure7() (*Figure7Result, error) {
 	var g *gridsim.Grid
 	for offset := int64(0); offset < 32 && g == nil; offset++ {
-		candidate, err := gridsim.New(gridsim.Config{
-			Size:          s.Opts.GridSize,
-			SpanRatio:     2.0,
-			FailureRate:   0.10,
-			AttackerShare: 0.30,
-			AttackerRow:   7,
-			AttackerCol:   7,
+		candidate, err := gridsim.New(s.seed+offset, s.gridOptions(
+			gridsim.WithSpanRatio(2.0),
+			gridsim.WithFailureRate(0.10),
+			gridsim.WithAttacker(0.30, 7, 7),
 			// The attacker holds a radius-5 region open with targeted
 			// communication disruption until step 200, then the honest
 			// chain floods back — the arc of the paper's three panels.
-			BoundaryRadius: 5,
-			BoundaryUntil:  200,
-			Seed:           s.seed + offset,
-			Obs:            s.Opts.Obs,
-			Faults:         s.Opts.Faults,
-			StepBudget:     s.Opts.StepBudget,
-		})
+			gridsim.WithBoundary(5, 0, 200),
+			gridsim.WithObserver(s.Opts.Obs),
+			gridsim.WithFaults(s.Opts.Faults),
+			gridsim.WithStepBudget(s.Opts.StepBudget),
+		)...)
 		if err != nil {
 			return nil, err
 		}
@@ -303,16 +298,12 @@ func (s *Study) Figure7() (*Figure7Result, error) {
 // trial order, so the table is byte-identical at any worker count.
 func (s *Study) HealStudy() (*gridsim.HealStudyResult, error) {
 	return gridsim.RunHealStudy(gridsim.HealConfig{
-		Grid: gridsim.Config{
-			Size:           s.Opts.GridSize,
-			SpanRatio:      2.0,
-			FailureRate:    0.10,
-			AttackerShare:  0.30,
-			AttackerRow:    7,
-			AttackerCol:    7,
-			BoundaryRadius: 5,
-			Seed:           s.seed,
-		},
+		Grid: gridsim.NewConfig(s.seed, s.gridOptions(
+			gridsim.WithSpanRatio(2.0),
+			gridsim.WithFailureRate(0.10),
+			gridsim.WithAttacker(0.30, 7, 7),
+			gridsim.WithBoundary(5, 0, 0),
+		)...),
 		Workers: s.Opts.Workers,
 	})
 }

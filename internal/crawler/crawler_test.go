@@ -132,10 +132,10 @@ func TestVersionCensusAndSyncedByAS(t *testing.T) {
 			Version: version,
 		})
 	}
-	sim, err := netsim.NewWithNodes(netsim.Config{
-		Nodes: 20, Seed: 1,
+	sim, err := netsim.FromConfig(netsim.Config{
+		Population: nodes, Seed: 1,
 		Gossip: p2p.Config{FailureRate: 1e-9},
-	}, nodes)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,8 +22,11 @@ type GridInjector struct {
 	sc      Scenario
 	stepDur time.Duration
 
-	chaos    stream
-	linkSeed uint64
+	chaos stream
+	// chaosSeed is the chaos stream's initial state, kept aside so the
+	// order-free ChaosLossAt hashes off a value that never advances.
+	chaosSeed uint64
+	linkSeed  uint64
 
 	// down[i] is cell i's current churn state; churn lists the churning
 	// cells with their private streams and next scheduled flip step.
@@ -52,13 +55,14 @@ func NewGridInjector(sc Scenario, seed int64, cells int, stepDur time.Duration, 
 		stepDur = time.Second
 	}
 	gi := &GridInjector{
-		sc:       sc,
-		stepDur:  stepDur,
-		chaos:    newStream(deriveStreamSeed(seed, saltGridChaos)),
-		linkSeed: uint64(deriveStreamSeed(seed, saltGridLinks)),
-		down:     make([]bool, cells),
-		m:        newMetrics(o),
-		trace:    o.Tracer(),
+		sc:        sc,
+		stepDur:   stepDur,
+		chaos:     newStream(deriveStreamSeed(seed, saltGridChaos)),
+		chaosSeed: uint64(deriveStreamSeed(seed, saltGridChaos)),
+		linkSeed:  uint64(deriveStreamSeed(seed, saltGridLinks)),
+		down:      make([]bool, cells),
+		m:         newMetrics(o),
+		trace:     o.Tracer(),
 	}
 	if gi.sc.Churn.Enabled() {
 		churnSeed := deriveStreamSeed(seed, saltGridChurn)
@@ -161,6 +165,25 @@ func (gi *GridInjector) ChaosLoss() bool {
 		return false
 	}
 	if gi.chaos.bernoulli(gi.sc.Chaos.LossProb) {
+		gi.m.msgLoss.Inc()
+		return true
+	}
+	return false
+}
+
+// ChaosLossAt is the order-free form of ChaosLoss for the sharded grid
+// engine: the decision is a pure hash of (chaos seed, cell, step) instead
+// of the next draw of a sequential stream, so shards ticking cells in any
+// order — or concurrently — reach identical decisions, and the loss count
+// is invariant to shard and worker count. The metric increment is atomic
+// and commutative, so it is safe from gang workers. The legacy engine keeps
+// ChaosLoss: its goldens pin the sequential stream.
+func (gi *GridInjector) ChaosLossAt(cell, step int) bool {
+	if gi.sc.Chaos.LossProb <= 0 {
+		return false
+	}
+	h := mix64(gi.chaosSeed ^ mix64(uint64(cell)+1) ^ mix64(uint64(step)<<20))
+	if unit(h) < gi.sc.Chaos.LossProb {
 		gi.m.msgLoss.Inc()
 		return true
 	}

@@ -11,7 +11,7 @@ func BenchmarkAdvanceBlockInterval(b *testing.B) {
 			name = "100x100"
 		}
 		b.Run(name, func(b *testing.B) {
-			g, err := New(Config{
+			g, err := FromConfig(Config{
 				Size: size, SpanRatio: 2.0, FailureRate: 0.10,
 				AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
 				BoundaryRadius: 5, Seed: 1,
@@ -30,7 +30,7 @@ func BenchmarkAdvanceBlockInterval(b *testing.B) {
 
 // BenchmarkSnapshot measures state summarization of the full-scale grid.
 func BenchmarkSnapshot(b *testing.B) {
-	g, err := New(Config{Size: 100, Seed: 1})
+	g, err := FromConfig(Config{Size: 100, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestStepBudgetCancelsAdvance(t *testing.T) {
-	g, err := New(Config{Size: 10, Seed: 1, StepBudget: 30})
+	g, err := FromConfig(Config{Size: 10, Seed: 1, StepBudget: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestStepBudgetCancelsAdvance(t *testing.T) {
 }
 
 func TestStepBudgetDisarmed(t *testing.T) {
-	g, err := New(Config{Size: 10, Seed: 1})
+	g, err := FromConfig(Config{Size: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestRunTrialsStepBudgetExhausted(t *testing.T) {
 	}
 	// A budget above the run length never fires.
 	steps := 0
-	if g, err := New(cfg); err == nil {
+	if g, err := FromConfig(cfg); err == nil {
 		steps = g.StepsPerBlock()*5 + 1
 	}
 	if _, err := RunTrials(cfg, TrialsConfig{Trials: 4, Blocks: 5, StepBudget: steps}); err != nil {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -96,6 +97,33 @@ type Config struct {
 	// runaway trial is cancelled at a deterministic point instead of
 	// spinning. Zero disarms the watchdog.
 	StepBudget int
+	// Shards selects the engine (DESIGN.md §13). Zero — the default — runs
+	// the legacy sequential engine, byte-identical to every pre-sharding
+	// release. Any value >= 1 runs the synchronous sharded engine: the world
+	// is partitioned by Router, shards tick concurrently under double
+	// buffering, and per-(cell, step) counter-mode randomness makes the
+	// output byte-identical at every shard count — shards=1 and shards=16
+	// produce the same study. The two engines use different gossip semantics
+	// (push-pull exchange vs. pull-only), so 0 and >= 1 are distinct
+	// experiments; among sharded runs only performance changes.
+	Shards int
+	// ShardWorkers bounds the goroutines ticking shards inside one world;
+	// <= 0 means one per CPU. Like Workers everywhere else, it never
+	// changes results.
+	ShardWorkers int
+	// Router picks the partitioning scheme for the sharded engine:
+	// shard.KindRange (the default) for contiguous bands with the smallest
+	// halo, shard.KindRing for consistent hashing with minimal rebalance
+	// movement. Output is identical either way — ownership only decides
+	// which worker computes a cell.
+	Router shard.Kind
+	// RebalanceStep/RebalanceShards script a mid-run topology change: at the
+	// start of step RebalanceStep the world re-routes onto RebalanceShards
+	// shards (a shard join or leave), moving exactly the keys whose owner
+	// changes under the new router. Because output is shard-count invariant,
+	// a rebalanced run stays byte-identical to an unrebalanced one; only
+	// ShardStats records the movement. Zero RebalanceStep disables this.
+	RebalanceStep, RebalanceShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +162,29 @@ func (c Config) Validate() error {
 	}
 	if c.StepBudget < 0 {
 		return fmt.Errorf("gridsim: negative step budget %d", c.StepBudget)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("gridsim: negative shard count %d", c.Shards)
+	}
+	if c.Shards > c.Size*c.Size {
+		return fmt.Errorf("gridsim: shard count %d exceeds %d cells", c.Shards, c.Size*c.Size)
+	}
+	if c.Shards == 0 {
+		if c.Router != "" || c.ShardWorkers != 0 || c.RebalanceStep != 0 || c.RebalanceShards != 0 {
+			return fmt.Errorf("gridsim: sharding options need Shards >= 1")
+		}
+		return nil
+	}
+	if c.RebalanceStep < 0 {
+		return fmt.Errorf("gridsim: negative rebalance step %d", c.RebalanceStep)
+	}
+	if c.RebalanceStep > 0 {
+		if c.RebalanceShards < 1 || c.RebalanceShards > c.Size*c.Size {
+			return fmt.Errorf("gridsim: rebalance shard count %d outside [1, %d]",
+				c.RebalanceShards, c.Size*c.Size)
+		}
+	} else if c.RebalanceShards != 0 {
+		return fmt.Errorf("gridsim: RebalanceShards needs RebalanceStep > 0")
 	}
 	return nil
 }
@@ -221,6 +272,32 @@ type Grid struct {
 	fcCounts []int32
 	fcBuf    []ForkCount
 
+	// Sharded-engine state (DESIGN.md §13), live only when cfg.Shards >= 1.
+	// plan partitions the cells, gang ticks the shards, and nextFork/
+	// nextHeight/nextLink double-buffer the per-cell state so every shard
+	// reads a frozen tick and writes only its own cells. tickKey is the
+	// per-step base of the counter-mode draws; failThresh53 is the failure
+	// Bernoulli threshold on 53-bit counter draws (see float53Threshold).
+	plan         *shard.Plan
+	gang         *parallel.Gang
+	tickFn       func(int)
+	adjFn        func(int) []int32
+	nextFork     []int32
+	nextHeight   []int32
+	nextLink     []blockchain.Hash
+	tickBase     uint64
+	tickKey      uint64
+	failThresh53 int64
+	// Per-shard tick tallies, folded in shard order at the barrier:
+	// cross-shard pull counts always, flip counts and fork-population
+	// deltas only while observability is on. popPrev is the pre-fold
+	// population scratch that detects fork deaths.
+	shCross    []int64
+	shFlips    []int64
+	shPopDelta [][]int32
+	popPrev    []int
+	shardStats ShardStats
+
 	// Observability (DESIGN.md §9). obsOn gates fork-population tracking
 	// so the uninstrumented hot loop pays a single bool check per
 	// adoption; forkPop counts followers per fork and is maintained only
@@ -235,9 +312,11 @@ type Grid struct {
 	obsAttackerBlk *obs.Counter
 }
 
-// New builds a grid simulation. All cells start on fork A at height 0 with
-// the same genesis link.
-func New(cfg Config) (*Grid, error) {
+// FromConfig builds a grid simulation from an explicit Config. All cells
+// start on fork A at height 0 with the same genesis link. Most callers use
+// New with functional options (options.go); FromConfig is the escape hatch
+// for code that assembles configurations programmatically.
+func FromConfig(cfg Config) (*Grid, error) {
 	g := &Grid{}
 	if err := g.ResetConfig(cfg); err != nil {
 		return nil, err
@@ -375,6 +454,14 @@ func (g *Grid) ResetConfig(cfg Config) error {
 		g.obsForkDeaths = reg.Counter("gridsim.fork_deaths")
 		g.obsHonestBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "honest"))
 		g.obsAttackerBlk = reg.Counter("gridsim.blocks_mined", obs.L("miner", "attacker"))
+	}
+
+	g.plan, g.gang, g.tickFn = nil, nil, nil
+	g.shardStats = ShardStats{}
+	if cfg.Shards >= 1 {
+		if err := g.resetSharded(cfg, n); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -519,6 +606,10 @@ const faultsSeedSalt = 0xFA17
 // rule), and every stepsPerBlock steps one block is mined by the attacker
 // (probability AttackerShare) or the honest network.
 func (g *Grid) Advance(n int) {
+	if g.cfg.Shards >= 1 {
+		g.advanceSharded(n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		if g.cfg.StepBudget > 0 && g.step >= g.cfg.StepBudget {
 			g.exhausted = true

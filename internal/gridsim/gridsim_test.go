@@ -22,7 +22,7 @@ func TestConfigValidate(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			_, err := New(tt.cfg)
+			_, err := FromConfig(tt.cfg)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
 			}
@@ -31,7 +31,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestDefaults(t *testing.T) {
-	g, err := New(Config{Size: 25})
+	g, err := FromConfig(Config{Size: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestDefaults(t *testing.T) {
 func TestHonestNetworkStaysSynchronizedAtSpanRatio2(t *testing.T) {
 	// The paper: Rspan = 2.0 "resulted in a network that was fully updated
 	// between blocks" with reasonable failure rates.
-	g, err := New(Config{Size: 25, SpanRatio: 2.0, FailureRate: 0.10, Seed: 3})
+	g, err := FromConfig(Config{Size: 25, SpanRatio: 2.0, FailureRate: 0.10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestHonestNetworkStaysSynchronizedAtSpanRatio2(t *testing.T) {
 func TestLowSpanRatioDesynchronizes(t *testing.T) {
 	// Ablation: with Rspan far below 1 information cannot cross the grid
 	// between blocks, so much of the network lags.
-	g, err := New(Config{Size: 25, SpanRatio: 0.2, FailureRate: 0.10, Seed: 3})
+	g, err := FromConfig(Config{Size: 25, SpanRatio: 0.2, FailureRate: 0.10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestLowSpanRatioDesynchronizes(t *testing.T) {
 func TestAttackerCreatesAndSustainsFork(t *testing.T) {
 	// A 30%-hash attacker (the paper's Figure 7 setup) must capture a
 	// nontrivial region of the grid at some point during the run.
-	g, err := New(Config{
+	g, err := FromConfig(Config{
 		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
 		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7, Seed: 11,
 	})
@@ -108,7 +108,7 @@ func TestAttackerCreatesAndSustainsFork(t *testing.T) {
 }
 
 func TestNoAttackerNoCounterfeit(t *testing.T) {
-	g, err := New(Config{Size: 15, Seed: 5})
+	g, err := FromConfig(Config{Size: 15, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestNoAttackerNoCounterfeit(t *testing.T) {
 }
 
 func TestSnapshotConsistency(t *testing.T) {
-	g, err := New(Config{Size: 10, Seed: 9, AttackerShare: 0.3, AttackerRow: 5, AttackerCol: 5})
+	g, err := FromConfig(Config{Size: 10, Seed: 9, AttackerShare: 0.3, AttackerRow: 5, AttackerCol: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestSnapshotConsistency(t *testing.T) {
 }
 
 func TestRender(t *testing.T) {
-	g, err := New(Config{Size: 4, Seed: 1})
+	g, err := FromConfig(Config{Size: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestForkIDString(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() (int, int, int) {
-		g, err := New(Config{Size: 20, Seed: 42, AttackerShare: 0.3, AttackerRow: 7, AttackerCol: 7})
+		g, err := FromConfig(Config{Size: 20, Seed: 42, AttackerShare: 0.3, AttackerRow: 7, AttackerCol: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestNeighborsCounts(t *testing.T) {
-	g, err := New(Config{Size: 5, Seed: 1})
+	g, err := FromConfig(Config{Size: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestBoundaryConfinesFork(t *testing.T) {
 	// With the attack boundary active for the whole run, the counterfeit
 	// region can never exceed the enclosed cell count ((2r+1)^2 for an
 	// interior attacker).
-	g, err := New(Config{
+	g, err := FromConfig(Config{
 		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
 		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
 		BoundaryRadius: 5, Seed: 2,
@@ -241,7 +241,7 @@ func TestBoundaryConfinesFork(t *testing.T) {
 func TestBoundaryReleaseLetsHonestChainRecapture(t *testing.T) {
 	// Open the boundary at step 200: either A overwhelms B or B escapes;
 	// in both cases the confined plateau must end.
-	g, err := New(Config{
+	g, err := FromConfig(Config{
 		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
 		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
 		BoundaryRadius: 5, BoundaryUntil: 200, Seed: 2,
@@ -262,10 +262,10 @@ func TestBoundaryReleaseLetsHonestChainRecapture(t *testing.T) {
 }
 
 func TestBoundaryValidation(t *testing.T) {
-	if _, err := New(Config{Size: 10, BoundaryRadius: -1}); err == nil {
+	if _, err := FromConfig(Config{Size: 10, BoundaryRadius: -1}); err == nil {
 		t.Error("negative radius accepted")
 	}
-	if _, err := New(Config{Size: 10, BoundaryRadius: 2, BoundaryFrom: 100, BoundaryUntil: 50}); err == nil {
+	if _, err := FromConfig(Config{Size: 10, BoundaryRadius: 2, BoundaryFrom: 100, BoundaryUntil: 50}); err == nil {
 		t.Error("inverted window accepted")
 	}
 }
@@ -273,7 +273,7 @@ func TestBoundaryValidation(t *testing.T) {
 func TestMainChainEventuallyOverwhelmsFork(t *testing.T) {
 	// Figure 7(c): the longer honest chain overwhelms the attacker's fork.
 	// Run long enough and the counterfeit share should shrink from its peak.
-	g, err := New(Config{
+	g, err := FromConfig(Config{
 		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
 		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7, Seed: 2,
 	})

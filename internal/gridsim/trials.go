@@ -63,11 +63,22 @@ func (tc TrialsConfig) supervised() bool {
 // Fingerprint identifies the ensemble for the checkpoint journal: the grid
 // configuration and every ensemble parameter that changes results. Workers
 // and the observer are excluded — results are identical across worker
-// counts and instrumentation.
+// counts and instrumentation. Sharding is normalized the same way: output
+// is byte-identical for every shard count >= 1, router, worker width, and
+// rebalance schedule, so those collapse to Shards=1 — while the 0-vs-1
+// engine distinction (legacy push-pull vs. sharded pull-only) is real and
+// stays in the fingerprint.
 func (tc TrialsConfig) Fingerprint(cfg Config) string {
 	tc = tc.withDefaults()
 	scrubbed := cfg
 	scrubbed.Obs = nil
+	if scrubbed.Shards >= 1 {
+		scrubbed.Shards = 1
+		scrubbed.ShardWorkers = 0
+		scrubbed.Router = ""
+		scrubbed.RebalanceStep = 0
+		scrubbed.RebalanceShards = 0
+	}
 	return checkpoint.Fingerprint(
 		"gridsim.trials",
 		fmt.Sprintf("grid=%+v", scrubbed),
@@ -190,7 +201,7 @@ func RunTrials(cfg Config, tc TrialsConfig) (*TrialsResult, error) {
 		if pooled, _ := pool.Get().(*Grid); pooled != nil {
 			g, err = pooled, pooled.ResetConfig(runCfg)
 		} else {
-			g, err = New(runCfg)
+			g, err = FromConfig(runCfg)
 		}
 		if err != nil {
 			return Trial{}, fmt.Errorf("trial %d: %w", trial, err)

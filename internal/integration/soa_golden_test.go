@@ -33,11 +33,10 @@ func soaTraceWorkload(t *testing.T) []byte {
 	var buf bytes.Buffer
 
 	gridObs := obs.New(0)
-	g, err := gridsim.New(gridsim.Config{
-		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
-		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
-		BoundaryRadius: 5, Seed: 1, Obs: gridObs,
-	})
+	g, err := gridsim.New(1,
+		gridsim.WithSize(25), gridsim.WithSpanRatio(2.0), gridsim.WithFailureRate(0.10),
+		gridsim.WithAttacker(0.30, 7, 7), gridsim.WithBoundary(5, 0, 0),
+		gridsim.WithObserver(gridObs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +73,10 @@ func soaTraceWorkload(t *testing.T) []byte {
 func soaMetricsWorkload(t *testing.T, workers int) []byte {
 	t.Helper()
 	o := obs.NewMetricsOnly()
-	cfg := gridsim.Config{
-		Size: 25, SpanRatio: 2.0, FailureRate: 0.10,
-		AttackerShare: 0.30, AttackerRow: 7, AttackerCol: 7,
-		BoundaryRadius: 5, Seed: 1, Obs: o,
-	}
+	cfg := gridsim.NewConfig(1,
+		gridsim.WithSize(25), gridsim.WithSpanRatio(2.0), gridsim.WithFailureRate(0.10),
+		gridsim.WithAttacker(0.30, 7, 7), gridsim.WithBoundary(5, 0, 0),
+		gridsim.WithObserver(o))
 	res, err := gridsim.RunTrials(cfg, gridsim.TrialsConfig{
 		Trials: 8, Blocks: 10, Workers: workers,
 	})

@@ -8,10 +8,12 @@ import (
 )
 
 // TestDetmerge covers map- and channel-order folds of parallel results
-// (directly and behind a fold helper, caught at the call site) and the
-// negatives: folding the ordered slice, and folding non-parallel maps.
-// The fixture's import path mirrors repro/internal/parallel so the
-// analyzer's harness model applies to the stub Map inside it.
+// (directly and behind a fold helper, caught at the call site), the
+// per-shard tally folds of the sharded engine (DESIGN.md §13), and the
+// negatives: folding the ordered slice, folding in ascending shard order,
+// and folding non-parallel maps. The fixture's import path mirrors
+// repro/internal/parallel so the analyzer's harness model applies to the
+// stub Map inside it.
 func TestDetmerge(t *testing.T) {
 	analysistest.Run(t, "../testdata", detmerge.Analyzer, "repro/internal/parallel")
 }

@@ -1,0 +1,24 @@
+// Positive cases: a hand-rolled shard gang. Ticking shards concurrently
+// must go through parallel.Gang, not raw goroutines — the gang is the one
+// audited barrier (panic attribution, deterministic re-panic order), and
+// concurrency outside internal/parallel is exactly what the analyzer
+// exists to keep out of the simulation packages.
+package shard
+
+import "sync"
+
+func tickAll(shards []func()) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(shards))
+	for _, tick := range shards {
+		go func() { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			tick()
+		}()
+	}
+	wg.Wait()
+}
+
+func tickAsync(tick func()) {
+	go tick() // want `raw goroutine outside internal/parallel`
+}

@@ -1,0 +1,32 @@
+// shardfold fixture: the DESIGN.md §13 coordinator folds. Per-shard
+// tallies coming out of the harness must merge in shard order — the
+// pattern gridsim's foldShards uses — not through a map keyed by shard ID,
+// whose iteration order would make flip counts and fork-death emission
+// order vary run to run.
+package parallel
+
+// badShardTallyFold collects per-shard flip tallies into a map keyed by
+// shard and folds in hash order.
+func badShardTallyFold(shards int) float64 {
+	tallies, _ := Map(1, shards, func(s int) (float64, error) { return float64(s), nil })
+	byShard := map[int]float64{}
+	for s, v := range tallies {
+		byShard[s] = v
+	}
+	flips := 0.0
+	for _, v := range byShard { // want `parallel results folded in nondeterministic order: fold over map iteration order`
+		flips += v
+	}
+	return flips
+}
+
+// goodShardOrderFold folds the same tallies by ascending shard index: the
+// deterministic merge the sharded engine is built on.
+func goodShardOrderFold(shards int) float64 {
+	tallies, _ := Map(1, shards, func(s int) (float64, error) { return float64(s), nil })
+	flips := 0.0
+	for s := 0; s < len(tallies); s++ {
+		flips += tallies[s]
+	}
+	return flips
+}

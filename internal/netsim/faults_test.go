@@ -57,7 +57,7 @@ func TestScenarioRunDeterministic(t *testing.T) {
 func TestChurnTakesNodesDownAndBack(t *testing.T) {
 	o := obs.NewMetricsOnly()
 	s, err := New(4,
-		WithNodes(60),
+		WithNodeCount(60),
 		WithGossip(p2p.Config{FailureRate: 1e-12, Obs: o}),
 		WithFaults(faults.Churny()),
 	)
@@ -105,7 +105,7 @@ func TestZeroScenarioMatchesNoFaults(t *testing.T) {
 // sugar over FromConfig — both spellings must produce identical runs.
 func TestOptionsMatchConfigLiteral(t *testing.T) {
 	s1, err := New(4,
-		WithNodes(50),
+		WithNodeCount(50),
 		WithGossip(p2p.Config{FailureRate: 1e-12}),
 		WithTxPerBlock(5),
 	)

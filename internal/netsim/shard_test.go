@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/p2p"
+	"repro/internal/shard"
+)
+
+// lagKey summarizes a run's sync state for identity comparisons.
+func lagKey(s *Simulation) [6]int {
+	lb := s.LagHistogram()
+	return [6]int{lb.Synced, lb.Behind1, lb.Behind2to4, lb.Behind5to10, lb.Behind10plus, s.BlocksProduced()}
+}
+
+// TestShardSeamZeroDelayIsByteIdentical pins the seam contract: sharding
+// with zero cross-shard delay only adds accounting — block production and
+// the Figure-6 lag state match the unsharded run exactly, while the
+// cross-shard tally and counter run hot.
+func TestShardSeamZeroDelayIsByteIdentical(t *testing.T) {
+	run := func(opts ...Option) *Simulation {
+		s, err := New(11, append([]Option{WithNodeCount(60)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.StartMining()
+		s.Run(2 * time.Hour)
+		return s
+	}
+	flat := run()
+	sharded := run(WithShards(4))
+	if lagKey(flat) != lagKey(sharded) {
+		t.Fatalf("zero-delay sharded run diverged: flat %v sharded %v", lagKey(flat), lagKey(sharded))
+	}
+	st := sharded.Network.MsgStats()
+	if st.CrossShard == 0 {
+		t.Fatal("no cross-shard messages counted on a 4-shard run")
+	}
+	if flatStats := flat.Network.MsgStats(); flatStats.CrossShard != 0 {
+		t.Fatalf("unsharded run counted %d cross-shard messages", flatStats.CrossShard)
+	}
+	if st.Sent != flat.Network.MsgStats().Sent {
+		t.Fatalf("sent diverged: flat %d sharded %d", flat.Network.MsgStats().Sent, st.Sent)
+	}
+}
+
+// TestShardSeamCounterAndAccessor covers the observable surface: the
+// p2p.cross_shard_msgs counter registers only on sharded runs, ShardOf
+// partitions the population, and the ring router is selectable.
+func TestShardSeamCounterAndAccessor(t *testing.T) {
+	o := obs.New(0)
+	s, err := New(3, WithNodeCount(50), WithShards(5),
+		WithRouter(shard.KindRing), WithObserver(o),
+		WithCrossShardDelay(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMining()
+	s.Run(time.Hour)
+	snap := o.Registry().Snapshot()
+	var found uint64
+	for _, c := range snap.Counters {
+		if c.Name == "p2p.cross_shard_msgs" {
+			found = c.Value
+		}
+	}
+	if found == 0 {
+		t.Fatal("p2p.cross_shard_msgs missing or zero on a sharded run")
+	}
+	owners := map[int]int{}
+	for i := 0; i < 50; i++ {
+		sh := s.ShardOf(p2p.NodeID(i))
+		if sh < 0 || sh >= 5 {
+			t.Fatalf("node %d mapped to shard %d", i, sh)
+		}
+		owners[sh]++
+	}
+	if len(owners) != 5 {
+		t.Fatalf("only %d of 5 shards own nodes", len(owners))
+	}
+
+	flat, err := New(3, WithNodeCount(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.ShardOf(0) != -1 {
+		t.Fatal("unsharded ShardOf should be -1")
+	}
+	fo := obs.New(0)
+	flatObs, err := New(3, WithNodeCount(10), WithObserver(fo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatObs.Run(time.Minute)
+	for _, c := range fo.Registry().Snapshot().Counters {
+		if c.Name == "p2p.cross_shard_msgs" {
+			t.Fatal("cross-shard counter registered on an unsharded run")
+		}
+	}
+}
+
+// TestShardConfigValidation covers the new netsim Config surface.
+func TestShardConfigValidation(t *testing.T) {
+	if _, err := New(1, WithNodeCount(10), WithRouter(shard.KindRing)); err == nil {
+		t.Error("router without shards accepted")
+	}
+	if _, err := New(1, WithNodeCount(10), WithCrossShardDelay(time.Second)); err == nil {
+		t.Error("delay without shards accepted")
+	}
+	if _, err := New(1, WithNodeCount(10), WithShards(11)); err == nil {
+		t.Error("more shards than nodes accepted")
+	}
+	if _, err := New(1, WithNodeCount(10), WithShards(2), WithRouter(shard.Kind("bogus"))); err == nil {
+		t.Error("unknown router accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Gang is the intra-world counterpart of the inter-trial pool above: a
+// fixed-width fan-out that runs n tasks to completion and barriers before
+// returning. The sharded simulation engines use one Gang per world to tick
+// all shards inside a single trial, while Map/Trials keep parallelizing
+// across trials — the two levels compose because a Gang, like the pool,
+// imposes no ordering requirement on its tasks.
+//
+// The determinism contract is therefore different from Map's: a Gang
+// returns no results and promises nothing about execution order. It is only
+// safe for tasks whose writes are disjoint and whose reads are frozen for
+// the duration of the call (the double-buffered tick guarantees both); any
+// ordered fold over per-task state happens after Run returns, on the
+// caller's goroutine, in task order.
+type Gang struct {
+	workers int
+}
+
+// NewGang returns a gang of the given width. workers <= 0 means
+// DefaultWorkers(). Width 1 runs every task inline on the caller's
+// goroutine.
+func NewGang(workers int) *Gang {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Gang{workers: workers}
+}
+
+// Workers returns the gang's width.
+func (g *Gang) Workers() int { return g.workers }
+
+// Run executes fn(0), …, fn(n-1) across at most the gang's width and
+// returns after all of them finish. Tasks are claimed by atomic counter, so
+// execution order is arbitrary — see the type comment for what that demands
+// of fn. A panicking task is re-panicked on the caller's goroutine after
+// the barrier (first panic by task index wins), wrapped in a *PanicError
+// carrying the task index and stack, so a crash inside a shard tick is
+// attributed rather than tearing down the process from an anonymous
+// goroutine.
+func (g *Gang) Run(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	w := g.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	panics := make([]*PanicError, n)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		fn(i)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGangRunsAllTasks checks every task runs exactly once at several
+// widths, including inline width 1 and width exceeding the task count.
+func TestGangRunsAllTasks(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 64} {
+		g := NewGang(w)
+		const n = 100
+		var hits [n]atomic.Int32
+		g.Run(n, func(task int) { hits[task].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("width %d: task %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestGangDefaultsAndEdges covers the zero-width default, the n<=0 no-op,
+// and Workers.
+func TestGangDefaultsAndEdges(t *testing.T) {
+	if g := NewGang(0); g.Workers() != DefaultWorkers() {
+		t.Fatalf("Workers() = %d, want DefaultWorkers()", g.Workers())
+	}
+	if g := NewGang(3); g.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", g.Workers())
+	}
+	ran := false
+	NewGang(4).Run(0, func(int) { ran = true })
+	NewGang(4).Run(-1, func(int) { ran = true })
+	if ran {
+		t.Fatal("Run with n <= 0 must not invoke fn")
+	}
+}
+
+// TestGangPanicAttribution checks a panic inside a task surfaces on the
+// caller's goroutine as a *PanicError naming the lowest panicking task,
+// after all tasks have finished (the barrier still holds).
+func TestGangPanicAttribution(t *testing.T) {
+	g := NewGang(4)
+	const n = 32
+	var completed atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want re-panic")
+		}
+		var pe *PanicError
+		if !errors.As(r.(error), &pe) {
+			t.Fatalf("want *PanicError, got %T: %v", r, r)
+		}
+		if pe.Task != 3 || pe.Seeded {
+			t.Fatalf("want unseeded task 3, got task %d seeded=%v", pe.Task, pe.Seeded)
+		}
+		if !strings.Contains(pe.Error(), "boom 3") {
+			t.Fatalf("panic value lost: %v", pe)
+		}
+		// Every non-panicking task still ran to completion before the
+		// re-panic: the barrier is not short-circuited.
+		if got := completed.Load(); got != n-2 {
+			t.Fatalf("%d tasks completed, want %d", got, n-2)
+		}
+	}()
+	g.Run(n, func(task int) {
+		if task == 3 || task == 7 {
+			panic("boom 3")
+		}
+		completed.Add(1)
+	})
+}
+
+// TestGangPanicInline checks width-1 gangs propagate panics too (the
+// inline path has no recover wrapper — the panic surfaces naturally).
+func TestGangPanicInline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic from inline task")
+		}
+	}()
+	NewGang(1).Run(4, func(task int) {
+		if task == 2 {
+			panic("inline")
+		}
+	})
+}

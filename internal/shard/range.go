@@ -1,0 +1,24 @@
+package shard
+
+// RangeRouter partitions [0, n) into contiguous bands whose sizes differ by
+// at most one key: shard s owns [floor(s·n/k), floor((s+1)·n/k)). On a
+// row-major grid contiguous bands are horizontal stripes, so the halo each
+// shard reads is one row above and one row below its band — the smallest
+// boundary-exchange volume any partition of a Moore-neighborhood grid can
+// achieve up to rotation.
+type RangeRouter struct {
+	n, k int
+}
+
+// NewRange builds a contiguous band router over n keys and k shards.
+// Callers normally go through New, which validates 1 <= k <= n.
+func NewRange(n, k int) *RangeRouter { return &RangeRouter{n: n, k: k} }
+
+// Shards returns the shard count.
+func (r *RangeRouter) Shards() int { return r.k }
+
+// Owner returns floor(key·k/n), the band containing key. The multiply
+// stays in int range for any world this repository can hold (n·k < 2^63).
+func (r *RangeRouter) Owner(key int) int {
+	return key * r.k / r.n
+}

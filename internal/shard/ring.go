@@ -1,0 +1,72 @@
+package shard
+
+import "sort"
+
+// virtualPoints is the number of ring positions each shard claims. More
+// points smooth the load split (relative imbalance shrinks like
+// 1/√points) at the cost of a larger table; 64 keeps shard loads within a
+// few percent of even for the shard counts the studies sweep (1–16) while
+// the whole table still fits in L1.
+const virtualPoints = 64
+
+// RingRouter is consistent hashing over the 64-bit circle: each shard
+// claims virtualPoints positions derived from (seed, shard, point) by pure
+// SplitMix64 mixing, and a key belongs to the shard owning the first point
+// at or clockwise after the key's own hash. Ownership of a key therefore
+// depends only on the points near its hash — growing the ring from k to
+// k+1 shards moves ~n/(k+1) keys instead of re-banding everything, which
+// is what makes mid-run shard joins cheap and deterministic.
+type RingRouter struct {
+	k      int
+	points []ringPoint
+	seed   uint64
+}
+
+type ringPoint struct {
+	pos   uint64
+	shard int32
+}
+
+// NewRing builds a consistent-hash router over n keys and k shards. The
+// seed fixes the virtual-point placement; the same (seed, k) always yields
+// the same ring regardless of n, so a ring can be reused across worlds.
+// Callers normally go through New, which validates 1 <= k <= n.
+func NewRing(seed int64, n, k int) *RingRouter {
+	r := &RingRouter{k: k, seed: uint64(seed), points: make([]ringPoint, 0, k*virtualPoints)}
+	for s := 0; s < k; s++ {
+		// Per-shard stream base, then one mix per virtual point: the same
+		// derive-then-mix shape as parallel.DeriveSeed, so points from
+		// different shards and nearby seeds are statistically independent.
+		base := Mix(uint64(seed) + (uint64(s)+1)*Gamma)
+		for v := 0; v < virtualPoints; v++ {
+			r.points = append(r.points, ringPoint{
+				pos:   Mix(base + (uint64(v)+1)*Gamma),
+				shard: int32(s),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		// A 64-bit collision between mixed points is astronomically rare;
+		// break it by shard index so the ring order is still total.
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *RingRouter) Shards() int { return r.k }
+
+// Owner hashes the key onto the circle and walks clockwise to the first
+// virtual point, wrapping past zero.
+func (r *RingRouter) Owner(key int) int {
+	h := Mix(r.seed ^ Mix((uint64(key)+1)*Gamma))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].shard)
+}
