@@ -11,9 +11,10 @@
 #   make benchsoa   — structure-of-arrays speedup gate (DESIGN.md §12, ≥3x)
 #   make benchlint  — incremental lint driver gate (DESIGN.md §8, warm ≤2x vet)
 #   make benchshard — sharded million-node engine gate (DESIGN.md §13, core-aware)
+#   make benchservice — partitiond latency + cache-hit gate (DESIGN.md §14, ≥10x)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint benchshard clean clean-lintcache
+.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint benchshard benchservice clean clean-lintcache
 
 all: check
 
@@ -111,6 +112,14 @@ benchlint:
 # (shard parallelism cannot exceed the physical core count).
 benchshard:
 	$(GO) run ./cmd/benchjson -shard -out BENCH_shard.json
+
+# benchservice regenerates BENCH_service.json and enforces the DESIGN.md
+# §14 gate on the resident daemon: submit→result latency through the HTTP
+# surface, fresh versus cache-served by a restarted daemon over the same
+# state directory, with the cache-served p50 required to beat the fresh p50
+# by 10x.
+benchservice:
+	$(GO) run ./cmd/benchjson -service -out BENCH_service.json
 
 clean: clean-lintcache
 	$(GO) clean ./...

@@ -12,6 +12,7 @@
 //	benchjson -soa [-minspeedup 3] [-rounds 8] [-out BENCH_soa.json]
 //	benchjson -lint [-maxratio 2] [-out BENCH_lint.json]
 //	benchjson -shard [-shardminspeedup 2] [-floor 0.8] [-out BENCH_shard.json]
+//	benchjson -service [-jobs 40] [-cachespeedup 10] [-out BENCH_service.json]
 //
 // With -out "-" the report goes to stdout. The -obs mode measures the
 // observability layer instead: each hot workload runs with instrumentation
@@ -45,6 +46,14 @@
 // on smaller hosts the -floor no-regression gate runs instead (sharding
 // bookkeeping must not cost more than the floor allows). The report
 // records which gate armed.
+//
+// The -service mode gates the resident daemon (DESIGN.md §14): distinct
+// attack specs are submitted through the partitiond HTTP surface and the
+// submit→result latency of each is recorded; then a restarted daemon over
+// the same state directory serves the identical specs from the
+// content-addressed cache. The run fails unless the cache-served p50
+// latency beats the fresh p50 by -cachespeedup — identical specs must be
+// answered from persisted bytes, not recomputed.
 //
 // In the default mode any pair whose parallel speedup falls below 1.0 is
 // flagged in the summary: on few-core hosts the worker fan-out of the
@@ -104,6 +113,9 @@ func run(args []string) error {
 	soaMode := fs.Bool("soa", false, "gate the SoA hot paths against the pre-rewrite baselines")
 	lintMode := fs.Bool("lint", false, "measure cold vs warm repolint wall time against go vet")
 	shardMode := fs.Bool("shard", false, "measure the million-node sharded grid world at shard counts 1/4/16")
+	serviceMode := fs.Bool("service", false, "measure partitiond submit→result latency, fresh vs cache-served")
+	serviceJobs := fs.Int("jobs", 40, "with -service: distinct specs per phase")
+	cacheSpeedup := fs.Float64("cachespeedup", 10, "with -service: fail when the cache-served p50 beats the fresh p50 by less than this factor")
 	shardFloor := fs.Float64("floor", 0.8, "with -shard on hosts under 4 CPUs: fail when multi-shard throughput falls below this fraction of single-shard")
 	shardRounds := fs.Int("shardrounds", 3, "with -shard: measurement rounds per configuration (minimum taken)")
 	shardMinSpeedup := fs.Float64("shardminspeedup", 2, "with -shard on hosts with 4+ CPUs: fail when the best multi-shard speedup is below this")
@@ -149,6 +161,12 @@ func run(args []string) error {
 			*out = "BENCH_shard.json"
 		}
 		return runShard(w, *shardMinSpeedup, *shardFloor, *shardRounds, *out)
+	}
+	if *serviceMode {
+		if *out == "" {
+			*out = "BENCH_service.json"
+		}
+		return runService(w, *serviceJobs, *cacheSpeedup, *out)
 	}
 	if *out == "" {
 		*out = "BENCH_parallel.json"

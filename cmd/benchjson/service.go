@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// ServiceReport is the -service document: submit→result latency through the
+// partitiond HTTP surface for fresh jobs (computed on the pool) and for the
+// same specs served from the content-addressed cache by a restarted daemon,
+// plus the speedup gate between them (DESIGN.md §14).
+type ServiceReport struct {
+	// Jobs is how many distinct specs each phase submitted.
+	Jobs int `json:"jobs"`
+	// Workers is the daemon pool's worker bound.
+	Workers int `json:"workers"`
+	// MinCacheSpeedup is the gate this run was held to: cached p50 latency
+	// must beat fresh p50 by at least this factor.
+	MinCacheSpeedup float64 `json:"min_cache_speedup"`
+	// Fresh and Cached hold each phase's latency distribution.
+	Fresh  ServicePhase `json:"fresh"`
+	Cached ServicePhase `json:"cached"`
+	// CacheSpeedup is fresh p50 over cached p50.
+	CacheSpeedup float64 `json:"cache_speedup"`
+}
+
+// ServicePhase is one submission phase's measurements.
+type ServicePhase struct {
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// runService measures the resident daemon end to end: a fresh daemon
+// computes `jobs` distinct attack specs (one seed each) while the
+// submit→result latency of every job is recorded through the HTTP API;
+// then a second daemon over the same state directory serves the identical
+// specs from the content-addressed cache and the same latencies are
+// recorded again. The gate fails unless the cached p50 beats the fresh p50
+// by minCacheSpeedup — content addressing must actually pay.
+func runService(workers, jobs int, minCacheSpeedup float64, out string) error {
+	dir, err := os.MkdirTemp("", "benchservice")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	specs := make([][]byte, jobs)
+	ids := make([]string, jobs)
+	for i := range specs {
+		spec := core.SpecFromOptions(int64(i + 1))
+		spec.Run = core.Command{Verb: "attack", Name: "spatial"}
+		doc, err := spec.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			return err
+		}
+		specs[i], ids[i] = doc, fp
+	}
+
+	fmt.Fprintf(os.Stderr, "measuring fresh submit→result latency (%d jobs)...\n", jobs)
+	fresh, err := measurePhase(dir, workers, specs, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "measuring cache-served latency (restarted daemon, same %d specs)...\n", jobs)
+	cached, err := measurePhase(dir, workers, specs, ids)
+	if err != nil {
+		return err
+	}
+
+	report := ServiceReport{
+		Jobs:            jobs,
+		Workers:         workers,
+		MinCacheSpeedup: minCacheSpeedup,
+		Fresh:           fresh,
+		Cached:          cached,
+	}
+	if cached.P50Ns > 0 {
+		report.CacheSpeedup = float64(fresh.P50Ns) / float64(cached.P50Ns)
+	}
+	fmt.Fprintf(os.Stderr, "fresh: p50 %s p99 %s (%.1f jobs/s); cached: p50 %s p99 %s (%.1f jobs/s); speedup %.1fx\n",
+		time.Duration(fresh.P50Ns), time.Duration(fresh.P99Ns), fresh.JobsPerSec,
+		time.Duration(cached.P50Ns), time.Duration(cached.P99Ns), cached.JobsPerSec,
+		report.CacheSpeedup)
+	if err := writeJSON(out, report); err != nil {
+		return err
+	}
+	if report.CacheSpeedup < minCacheSpeedup {
+		return fmt.Errorf("cache-hit speedup %.1fx below the %.1fx gate", report.CacheSpeedup, minCacheSpeedup)
+	}
+	return nil
+}
+
+// measurePhase starts a daemon over dir, submits every spec through the
+// HTTP API, and records each job's submit→result latency. A fresh state
+// directory makes this the compute phase; reusing one makes it the
+// cache-served phase — the daemon itself runs the same code either way.
+func measurePhase(dir string, workers int, specs [][]byte, ids []string) (ServicePhase, error) {
+	svc, _, err := service.New(service.Config{StateDir: dir, Workers: workers, Queue: len(specs)})
+	if err != nil {
+		return ServicePhase{}, err
+	}
+	ts := httptest.NewServer(service.Handler(svc))
+	defer ts.Close()
+	defer svc.Drain()
+
+	latencies := make([]time.Duration, 0, len(specs))
+	start := time.Now()
+	for i, doc := range specs {
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(doc))
+		if err != nil {
+			return ServicePhase{}, err
+		}
+		_, rerr := io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close() // drained; the submit status is the signal
+		if rerr != nil {
+			return ServicePhase{}, rerr
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return ServicePhase{}, fmt.Errorf("submit: %s", resp.Status)
+		}
+		if view, ok := svc.Wait(ids[i]); !ok || view.State != service.StateDone {
+			return ServicePhase{}, fmt.Errorf("job %s did not finish done", ids[i])
+		}
+		resp, err = http.Get(ts.URL + "/v1/jobs/" + ids[i] + "/result")
+		if err != nil {
+			return ServicePhase{}, err
+		}
+		_, rerr = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close() // drained; the latency is the measurement
+		if rerr != nil {
+			return ServicePhase{}, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return ServicePhase{}, fmt.Errorf("result: %s", resp.Status)
+		}
+		latencies = append(latencies, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	phase := ServicePhase{
+		P50Ns: int64(latencies[len(latencies)/2]),
+		P99Ns: int64(latencies[(len(latencies)*99+99)/100-1]),
+	}
+	if elapsed > 0 {
+		phase.JobsPerSec = float64(len(specs)) / elapsed.Seconds()
+	}
+	return phase, nil
+}

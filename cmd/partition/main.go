@@ -5,6 +5,13 @@
 // link flaps/blackholes, message chaos — DESIGN.md §10), and `experiment
 // healstudy` sweeps all the presets over the partition-heal arc.
 //
+// The CLI is a thin spec builder (DESIGN.md §14): flags become a
+// core.Spec — the same serializable document the partitiond daemon accepts
+// — and every command dispatches through service.RunSpec, the entry point
+// the daemon uses, so CLI and daemon output are byte-identical for the same
+// spec. `partition spec <verb> <name>` prints the spec document instead of
+// running it, ready to POST to a daemon.
+//
 // `experiment all` additionally supports the crash-safety layer of
 // DESIGN.md §11: -checkpoint DIR write-ahead journals every experiment as
 // it completes, -resume replays the completed prefix of a killed run, and
@@ -18,6 +25,7 @@
 //	partition experiment all [-checkpoint DIR] [-resume] [-onfault degrade|fail] [-stepbudget N]
 //	partition attack <spatial|temporal|spatiotemporal|logical|doublespend|majority51|cascade> [-seed N] [-faults SCENARIO]
 //	partition defend <blockaware|stratum|routeguard> [-seed N]
+//	partition spec <verb> <name> [flags]   print the spec JSON without running
 package main
 
 import (
@@ -26,98 +34,73 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
-	"repro/internal/attack"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/defense"
 	"repro/internal/faults"
 	"repro/internal/obs"
-	"repro/internal/topology"
-)
-
-// Exit codes (README "Exit codes"): distinct non-zero codes let the crash
-// harness and CI tell a degraded-but-complete sweep from a watchdog
-// cancellation without parsing stderr.
-const (
-	exitClean     = 0
-	exitHardError = 1
-	exitDegraded  = 3
-	exitExhausted = 4
+	"repro/internal/service"
 )
 
 func main() {
 	code, err := run(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "partition:", err)
-		if code == exitClean {
-			code = exitHardError
+		if code == service.ExitClean {
+			code = service.ExitHardError
 		}
 	}
 	os.Exit(code)
 }
 
-// ckptFlags carries the crash-safety options of `experiment all`.
-type ckptFlags struct {
-	dir     string
-	resume  bool
-	degrade bool
-	workers int
-}
-
 func run(args []string) (int, error) {
 	if len(args) < 2 {
-		return exitHardError, usageError()
+		return service.ExitHardError, usageError()
 	}
 	verb, noun := args[0], args[1]
+	specOnly := verb == "spec"
+	if specOnly {
+		if len(args) < 3 {
+			return service.ExitHardError, usageError()
+		}
+		verb, noun = args[1], args[2]
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("partition", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "generation seed")
-	full := fs.Bool("full", false, "paper-scale experiment windows (slow)")
-	workers := fs.Int("workers", 0, "parallel fan-out bound (0 = one per CPU, 1 = sequential); output is identical either way")
+	sf := service.RegisterSpecFlags(fs)
 	tracePath := fs.String("trace", "", "record the sim-time event trace and write it as JSONL to this path")
 	metrics := fs.Bool("metrics", false, "print the deterministic metrics snapshot after the command output")
-	faultsName := fs.String("faults", "", "fault scenario every simulation runs under (stable, churny, flaky, hijack-recovery); empty = no faults")
 	ckptDir := fs.String("checkpoint", "", "journal directory for `experiment all`: write-ahead checkpoint every experiment at its boundary")
 	resume := fs.Bool("resume", false, "replay completed experiments from the -checkpoint journal instead of re-running them")
 	onFault := fs.String("onfault", "degrade", "failed-experiment policy under -checkpoint: degrade (quarantine and continue) or fail (abort the sweep)")
-	stepBudget := fs.Int("stepbudget", 0, "grid-simulation step watchdog: cancel any replicate exceeding this many steps (0 disables)")
-	shards := fs.Int("shards", 0, "run grid simulations on the sharded engine with this many shards (0 = legacy engine); output is identical for every count >= 1")
-	shardWorkers := fs.Int("shardworkers", 0, "goroutines ticking shards inside one sharded world (0 = one per CPU); output is identical either way")
 	if err := fs.Parse(args[2:]); err != nil {
-		return exitHardError, err
+		return service.ExitHardError, err
 	}
 	switch *onFault {
 	case "degrade", "fail":
 	default:
-		return exitHardError, fmt.Errorf("unknown -onfault policy %q (degrade, fail)", *onFault)
+		return service.ExitHardError, fmt.Errorf("unknown -onfault policy %q (degrade, fail)", *onFault)
 	}
 	if (*ckptDir != "" || *resume) && (verb != "experiment" || noun != "all") {
-		return exitHardError, fmt.Errorf("-checkpoint/-resume apply only to `experiment all`")
+		return service.ExitHardError, fmt.Errorf("-checkpoint/-resume apply only to `experiment all`")
 	}
 	if *resume && *ckptDir == "" {
-		return exitHardError, fmt.Errorf("-resume needs -checkpoint DIR")
+		return service.ExitHardError, fmt.Errorf("-resume needs -checkpoint DIR")
 	}
-	opts := []core.Option{core.WithWorkers(*workers)}
-	if *full {
-		opts = append(opts, core.WithFull())
-	}
-	if *stepBudget > 0 {
-		opts = append(opts, core.WithStepBudget(*stepBudget))
-	}
-	if *shardWorkers != 0 && *shards == 0 {
-		return exitHardError, fmt.Errorf("-shardworkers needs -shards >= 1")
-	}
-	if *shards > 0 {
-		opts = append(opts, core.WithShards(*shards), core.WithShardWorkers(*shardWorkers))
-	}
-	if *faultsName != "" {
-		scenario, err := faults.Preset(*faultsName)
-		if err != nil {
-			return exitHardError, err
+	spec, err := sf.Spec(verb, noun)
+	if err != nil {
+		if verb != "experiment" && verb != "attack" && verb != "defend" && verb != "export" {
+			return service.ExitHardError, usageError()
 		}
-		opts = append(opts, core.WithFaults(scenario))
+		return service.ExitHardError, err
+	}
+	if specOnly {
+		doc, err := spec.CanonicalJSON()
+		if err != nil {
+			return service.ExitHardError, err
+		}
+		fmt.Printf("%s\n", doc)
+		return service.ExitClean, nil
 	}
 	var observer *obs.Observer
 	switch {
@@ -126,112 +109,87 @@ func run(args []string) (int, error) {
 	case *metrics:
 		observer = obs.NewMetricsOnly()
 	}
+	opts := service.RunOptions{}
 	if observer != nil {
-		opts = append(opts, core.WithObserver(observer))
+		opts.Extra = append(opts.Extra, core.WithObserver(observer))
 	}
-	study, err := core.New(*seed, opts...)
-	if err != nil {
-		return exitHardError, err
-	}
-	code := exitClean
-	switch verb {
-	case "experiment":
-		if noun == "all" && *ckptDir != "" {
-			code, err = runAllCheckpointed(study, ckptFlags{
-				dir:     *ckptDir,
-				resume:  *resume,
-				degrade: *onFault == "degrade",
-				workers: *workers,
-			})
-		} else {
-			err = runExperiment(study, noun)
+	code := service.ExitClean
+	var journalPath string
+	if *ckptDir != "" {
+		journal, log, path, err := openJournal(spec, *ckptDir, *resume)
+		if err != nil {
+			return service.ExitHardError, err
 		}
-	case "attack":
-		err = runAttack(study, noun)
-	case "defend":
-		err = runDefense(study, noun)
-	case "export":
-		err = runExport(study, noun)
-	default:
-		return exitHardError, usageError()
+		journalPath = path
+		defer func() {
+			if cerr := journal.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "partition: close journal:", cerr)
+			}
+		}()
+		opts.Journal, opts.Resume, opts.FailFast = journal, log, *onFault == "fail"
 	}
+	res, err := service.RunSpec(spec, opts)
 	if err != nil {
-		return code, err
+		return service.ExitHardError, err
 	}
-	return code, writeObservations(study, *tracePath, *metrics)
+	fmt.Print(res.Output)
+	if res.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "partition: replayed %d completed experiments from %s\n", res.Replayed, journalPath)
+	}
+	if len(res.Faults) > 0 {
+		// Quarantine report: every fault with its replay key, so a follow-up
+		// run can reproduce the failure in isolation.
+		for _, f := range res.Faults {
+			fmt.Fprintf(os.Stderr, "partition: experiment %q (task %d, seed %d) %s: %v\n",
+				f.Name, f.Task, f.Seed, f.Kind, f.Err)
+		}
+		fmt.Fprintf(os.Stderr, "partition: degraded run: %d/%d experiments completed, %d quarantined (journal: %s)\n",
+			res.Completed, res.Total, len(res.Faults), journalPath)
+	}
+	code = res.Exit
+	return code, writeObservations(observer, *tracePath, *metrics)
 }
 
-// runAllCheckpointed is `experiment all` under the crash-safety layer: the
-// journal lives at <dir>/<study fingerprint>.ckpt, every experiment is
-// write-ahead journaled at its boundary, and -resume replays the completed
-// prefix of a killed run — output stays byte-identical to the plain sweep
-// at any worker count. The exit code reports degradation: quarantined
-// experiments yield exitDegraded, a watchdog cancellation exitExhausted.
-func runAllCheckpointed(study *core.Study, cf ckptFlags) (int, error) {
-	if err := os.MkdirAll(cf.dir, 0o755); err != nil {
-		return exitHardError, err
+// openJournal places the crash-safety journal at <dir>/<fingerprint>.ckpt,
+// where the fingerprint is the spec's — the same key the partitiond result
+// cache uses, so a CLI journal and a daemon job of the same spec agree.
+func openJournal(spec core.Spec, dir string, resume bool) (*checkpoint.Journal, *checkpoint.Log, string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, "", err
 	}
-	fp := study.Fingerprint()
-	path := filepath.Join(cf.dir, fp+".ckpt")
-	var (
-		j   *checkpoint.Journal
-		log *checkpoint.Log
-		err error
-	)
-	if _, statErr := os.Stat(path); cf.resume && statErr == nil {
-		j, log, err = checkpoint.Resume(path, fp)
-		if err == nil && log.Truncated {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	path := filepath.Join(dir, fp+".ckpt")
+	if _, statErr := os.Stat(path); resume && statErr == nil {
+		j, log, err := checkpoint.Resume(path, fp)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if log.Truncated {
 			fmt.Fprintf(os.Stderr, "partition: journal %s had a corrupt tail; resuming from the %d-record valid prefix\n",
 				path, len(log.Records))
 		}
-	} else {
-		j, err = checkpoint.Create(path, fp)
+		return j, log, path, nil
 	}
+	canonical, err := spec.CanonicalJSON()
 	if err != nil {
-		return exitHardError, err
+		return nil, nil, "", err
 	}
-	defer func() {
-		if cerr := j.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "partition: close journal:", cerr)
-		}
-	}()
-	run, err := study.RunAllCheckpointed(cf.workers, j, log, !cf.degrade)
+	j, err := checkpoint.CreateWithSpec(path, fp, canonical)
 	if err != nil {
-		return exitHardError, err
+		return nil, nil, "", err
 	}
-	for task, out := range run.Outputs {
-		if !run.Ran[task] {
-			continue
-		}
-		fmt.Print(out.Text)
-		fmt.Println()
-	}
-	if run.Replayed > 0 {
-		fmt.Fprintf(os.Stderr, "partition: replayed %d completed experiments from %s\n", run.Replayed, path)
-	}
-	if len(run.Faults) == 0 {
-		return exitClean, nil
-	}
-	// Quarantine report: every fault with its replay key, so a follow-up
-	// run can reproduce the failure in isolation.
-	for _, f := range run.Faults {
-		fmt.Fprintf(os.Stderr, "partition: experiment %q (task %d, seed %d) %s: %v\n",
-			f.Name, f.Task, f.Seed, f.Kind, f.Err)
-	}
-	fmt.Fprintf(os.Stderr, "partition: degraded run: %d/%d experiments completed, %d quarantined (journal: %s)\n",
-		run.Completed(), len(run.Outputs), len(run.Faults), path)
-	if run.Exhausted() {
-		return exitExhausted, nil
-	}
-	return exitDegraded, nil
+	return j, nil, path, nil
 }
 
 // writeObservations exports what the observer recorded: the metrics
 // snapshot to stdout (after the command's own output) and the event trace
 // as JSONL to the requested path.
-func writeObservations(study *core.Study, tracePath string, metrics bool) error {
+func writeObservations(observer *obs.Observer, tracePath string, metrics bool) error {
 	if metrics {
-		fmt.Print(study.Snapshot().Render())
+		fmt.Print(observer.Registry().Snapshot().Render())
 	}
 	if tracePath == "" {
 		return nil
@@ -240,296 +198,19 @@ func writeObservations(study *core.Study, tracePath string, metrics bool) error 
 	if err != nil {
 		return err
 	}
-	if err := study.Observer().Tracer().WriteJSONL(f); err != nil {
+	if err := observer.Tracer().WriteJSONL(f); err != nil {
 		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()
 }
 
-// runExport writes machine-readable CSV for the data figures/tables.
-func runExport(study *core.Study, name string) error {
-	switch strings.ToLower(name) {
-	case "figure3":
-		return study.ExportFigure3(os.Stdout)
-	case "figure4":
-		return study.ExportFigure4(os.Stdout)
-	case "figure6a":
-		return study.ExportFigure6(os.Stdout, core.Figure6a)
-	case "figure6b":
-		return study.ExportFigure6(os.Stdout, core.Figure6b)
-	case "figure6c":
-		return study.ExportFigure6(os.Stdout, core.Figure6c)
-	case "figure8":
-		return study.ExportFigure8(os.Stdout)
-	case "table5":
-		return study.ExportTableV(os.Stdout)
-	case "table6":
-		return study.ExportTableVI(os.Stdout)
-	default:
-		return fmt.Errorf("unknown export %q (figure3, figure4, figure6a/b/c, figure8, table5, table6)", name)
-	}
-}
-
 func usageError() error {
-	return fmt.Errorf("usage: partition <experiment|attack|defend|export> <name> [-seed N] [-full] [-workers N] [-faults SCENARIO]\n" +
+	return fmt.Errorf("usage: partition <experiment|attack|defend|export|spec> <name> [-seed N] [-full] [-workers N] [-faults SCENARIO]\n" +
 		"  experiments: table1..table8, figure1..figure8 (figure6a/b/c), healstudy, all\n" +
 		"  attacks:     spatial, temporal, spatiotemporal, logical, doublespend, majority51, cascade\n" +
 		"  defenses:    blockaware, stratum, routeguard, placement\n" +
 		"  exports:     figure3, figure4, figure6a/b/c, figure8, table5, table6 (CSV to stdout)\n" +
+		"  spec:        print the canonical spec JSON for <verb> <name> instead of running it\n" +
 		"  -faults runs every simulation under a fault scenario: " + strings.Join(faults.PresetNames(), ", "))
-}
-
-func runExperiment(study *core.Study, name string) error {
-	if name == "all" {
-		// The experiments fan out across the study's workers; outputs come
-		// back in presentation order, identical to the sequential run.
-		outputs, err := study.RunAll(study.Opts.Workers)
-		if err != nil {
-			return err
-		}
-		for _, out := range outputs {
-			fmt.Print(out.Text)
-			fmt.Println()
-		}
-		return nil
-	}
-	switch strings.ToLower(name) {
-	case "table1":
-		fmt.Print(study.TableI().Render())
-	case "table2":
-		fmt.Print(study.TableII().Render())
-	case "table3":
-		r, err := study.TableIII()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "table4":
-		r, err := study.TableIV()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "table5":
-		r, err := study.TableV()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "table6":
-		r, err := study.TableVI()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "table7":
-		r, err := study.TableVII()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "table8":
-		fmt.Print(study.TableVIII().Render())
-	case "figure1":
-		out, err := study.Figure1Demo()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-	case "figure2":
-		out, err := study.Figure2Demo()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-	case "figure3":
-		r, err := study.Figure3()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "figure4":
-		r, err := study.Figure4()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "figure5":
-		_, out, err := study.Figure5Demo()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-	case "figure6a", "figure6b", "figure6c", "figure6":
-		variants := map[string]core.Figure6Variant{
-			"figure6a": core.Figure6a, "figure6b": core.Figure6b,
-			"figure6c": core.Figure6c, "figure6": core.Figure6a,
-		}
-		r, err := study.Figure6(variants[strings.ToLower(name)])
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "figure7":
-		r, err := study.Figure7()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "figure8":
-		r, err := study.Figure8()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	case "healstudy":
-		// The partition-heal study sweeps the fault presets itself, so it is
-		// not part of "all" (whose golden output must not move) and ignores
-		// the -faults flag.
-		r, err := study.HealStudy()
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
-	}
-	return nil
-}
-
-// runAttack dispatches from the attack package's sorted plan registry;
-// unknown names report the registry in the error.
-func runAttack(study *core.Study, name string) error {
-	plan, err := attack.NewPlan(strings.ToLower(name), attack.Env{
-		Pop:          study.Pop,
-		NetworkNodes: study.Opts.NetworkNodes,
-		Seed:         study.Seed(),
-		Obs:          study.Observer(),
-		Faults:       study.Opts.Faults,
-		NewSim:       study.NewSimFromPopulation,
-	})
-	if err != nil {
-		return err
-	}
-	res, err := plan.Run(nil, study.Observer().Registry())
-	if err != nil {
-		return err
-	}
-	fmt.Print(res.Summary())
-	return nil
-}
-
-func runDefense(study *core.Study, name string) error {
-	switch strings.ToLower(name) {
-	case "blockaware":
-		return blockAwareDemo(study)
-	case "stratum":
-		return stratumDemo()
-	case "routeguard":
-		return routeGuardDemo(study)
-	case "placement":
-		return placementDemo(study)
-	default:
-		return fmt.Errorf("unknown defense %q", name)
-	}
-}
-
-func placementDemo(study *core.Study) error {
-	fmt.Println("Exchange full-node placement: co-location vs dispersal (§VI)")
-	candidates := core.Figure4ASes()
-	cost, err := defense.CompareColocation(study.Pop, 24940, candidates, 5)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  5 nodes co-located in AS24940: %d hijack incident blinds the operator\n", cost.NaiveIncidents)
-	fmt.Printf("  5 nodes dispersed across the top-5 ASes: %d separate incidents needed (%d in flat, conspicuous ASes)\n",
-		cost.DispersedIncidents, cost.DispersedFlatHosts)
-	return nil
-}
-
-func blockAwareDemo(study *core.Study) error {
-	fmt.Println("BlockAware: tc - tl > 600s self-check vs the temporal attack")
-	for _, protect := range []bool{false, true} {
-		sim, err := study.NewSimFromPopulation(study.Opts.NetworkNodes, study.Seed()+3)
-		if err != nil {
-			return err
-		}
-		sim.StartMining()
-		sim.Run(6 * time.Hour)
-		victims := attack.FindVictims(sim, 0, study.Opts.NetworkNodes/8)
-		if protect {
-			ba, err := defense.NewBlockAware(sim, victims, defense.BlockAwareConfig{Seed: 7})
-			if err != nil {
-				return err
-			}
-			ba.Start()
-			defer ba.Stop()
-		}
-		res, err := attack.ExecuteTemporalOn(sim, attack.TemporalConfig{
-			AttackerShare: 0.30, HoldFor: 8 * time.Hour, HealFor: 2 * time.Hour,
-		}, victims)
-		if err != nil {
-			return err
-		}
-		label := "without BlockAware"
-		if protect {
-			label = "with BlockAware   "
-		}
-		fmt.Printf("  %s: %d/%d victims captured at release, %d txs reversed\n",
-			label, res.CapturedAtRelease, len(victims), res.ReversedTxs)
-	}
-	return nil
-}
-
-func stratumDemo() error {
-	fmt.Println("Stratum dispersal: attack cost to isolate 60% of hash rate")
-	pools := dataset.TableIV()
-	candidates := []topology.ASN{
-		24940, 16276, 37963, 16509, 14061, 7922, 4134, 51167, 45102, 58563,
-		60000, 60001, 60002, 60003, 60004,
-	}
-	spread, err := defense.SpreadStratum(pools, candidates, 4)
-	if err != nil {
-		return err
-	}
-	benefit, err := defense.EvaluateDispersal(pools, spread, 0.60)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  before: %d AS hijacks isolate %.1f%%\n",
-		benefit.Before.ASesHijacked, benefit.Before.ShareIsolated*100)
-	if benefit.After.Feasible {
-		fmt.Printf("  after 4-way dispersal: %d AS hijacks needed\n", benefit.After.ASesHijacked)
-	} else {
-		fmt.Printf("  after 4-way dispersal: infeasible even hijacking all %d candidate ASes\n", len(candidates))
-	}
-	return nil
-}
-
-func routeGuardDemo(study *core.Study) error {
-	fmt.Println("RouteGuard: bogus route purging after a hijack of AS24940")
-	guard, err := defense.NewRouteGuard(study.Pop.Topo)
-	if err != nil {
-		return err
-	}
-	sp, err := attack.NewSpatial(study.Pop)
-	if err != nil {
-		return err
-	}
-	plan, err := sp.PlanAS(666, 24940, 0.95)
-	if err != nil {
-		return err
-	}
-	if _, err := sp.Execute(plan, nil); err != nil {
-		return err
-	}
-	suspicions := guard.Audit()
-	fmt.Printf("  audit flags %d diverted prefixes\n", len(suspicions))
-	purged, err := guard.PurgeSuspicious(suspicions)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  purged %d bogus announcements; re-audit flags %d\n", purged, len(guard.Audit()))
-	return nil
 }

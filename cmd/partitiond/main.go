@@ -1,0 +1,280 @@
+// Command partitiond is the resident experiment service of the
+// reproduction (DESIGN.md §14): a long-lived HTTP daemon that accepts
+// serialized study specs (core.Spec, the same document `partition spec`
+// prints), runs them as supervised jobs on a bounded worker pool, and
+// content-addresses every result by the spec's canonical fingerprint —
+// identical specs are served from the cache byte-identically, never
+// re-computed. `experiment all` jobs run under the crash-safety journal, so
+// a SIGTERM'd daemon drains at experiment boundaries and a restarted one
+// resumes in-flight jobs byte-identically.
+//
+// Serve:
+//
+//	partitiond serve [-addr :8091] [-state DIR] [-jobs N] [-queue N]
+//
+// Client verbs (thin wrappers over the HTTP API):
+//
+//	partitiond submit <verb> <name> [spec flags] [-addr HOST:PORT] [-wait]
+//	partitiond status <job-id> | partitiond jobs
+//	partitiond result <job-id>
+//	partitiond trace  <job-id>        stream the job's NDJSON event trace
+//	partitiond plans
+//
+// The API surface:
+//
+//	POST /v1/jobs             submit a spec (202 accepted / 200 cached / 429 refused)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        status      GET /v1/jobs/{id}/result  output bytes
+//	GET  /v1/jobs/{id}/trace  NDJSON stream (obs.trace.v1 framing)
+//	GET  /v1/plans            attack registry with canonical parameters
+//	GET  /v1/healthz          pool gauges
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "partitiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "serve":
+		return serve(rest)
+	case "submit":
+		return submit(rest)
+	case "status", "result", "trace":
+		return jobQuery(verb, rest)
+	case "jobs", "plans":
+		return listQuery(verb, rest)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return errors.New("usage: partitiond <serve|submit|status|result|trace|jobs|plans> [flags]\n" +
+		"  serve  [-addr :8091] [-state DIR] [-jobs N] [-queue N]\n" +
+		"  submit <verb> <name> [spec flags] [-addr HOST:PORT] [-wait]\n" +
+		"  status|result|trace <job-id> [-addr HOST:PORT]\n" +
+		"  jobs|plans [-addr HOST:PORT]")
+}
+
+// serve runs the daemon until SIGTERM/SIGINT, then drains gracefully:
+// admission closes (new submissions get 429), running checkpointed sweeps
+// stop at their next experiment boundary with the journal intact, and the
+// process exits once every admitted job has reached a terminal state.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("partitiond serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8091", "listen address")
+	state := fs.String("state", "partitiond-state", "state directory: spec sidecars, journals, and the content-addressed result cache")
+	jobs := fs.Int("jobs", 0, "concurrently running jobs (0 = one per CPU)")
+	queue := fs.Int("queue", 16, "admitted-but-not-running job bound; submissions past it get 429")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, resurrected, err := service.New(service.Config{StateDir: *state, Workers: *jobs, Queue: *queue})
+	if err != nil {
+		return err
+	}
+	for _, fp := range resurrected {
+		fmt.Fprintf(os.Stderr, "partitiond: resuming unfinished job %s\n", fp)
+	}
+	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Fprintf(os.Stderr, "partitiond: serving on %s (state %s)\n", *addr, *state)
+
+	// Two supervised tasks stand in for raw goroutines (the repo confines
+	// those to internal/parallel): the listener, and the signal-wait that
+	// drains and shuts it down. Map returns when both finish — i.e. after
+	// the drain completes and the listener exits.
+	_, err = parallel.Map(2, 2, func(task int) (struct{}, error) {
+		switch task {
+		case 0:
+			if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				// A hard listen error must also release the signal waiter.
+				signal.Stop(sigc)
+				close(sigc)
+				return struct{}{}, err
+			}
+		case 1:
+			if _, open := <-sigc; !open {
+				return struct{}{}, nil // listener failed before any signal
+			}
+			fmt.Fprintln(os.Stderr, "partitiond: draining (checkpointed jobs stop at their next experiment boundary)")
+			svc.Drain()
+			if err := srv.Close(); err != nil {
+				return struct{}{}, err
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "partitiond: drained")
+	return nil
+}
+
+// submit builds a spec from the shared flag surface and POSTs it.
+func submit(args []string) error {
+	if len(args) < 2 {
+		return usageError()
+	}
+	verb, name := args[0], args[1]
+	fs := flag.NewFlagSet("partitiond submit", flag.ContinueOnError)
+	sf := service.RegisterSpecFlags(fs)
+	addr := fs.String("addr", "localhost:8091", "daemon address")
+	wait := fs.Bool("wait", false, "poll until the job finishes, then print its result")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	spec, err := sf.Spec(verb, name)
+	if err != nil {
+		return err
+	}
+	doc, err := spec.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(baseURL(*addr)+"/v1/jobs", "application/json", strings.NewReader(string(doc)))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if !*wait {
+		fmt.Print(string(body))
+		return nil
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return err
+	}
+	return waitAndPrint(*addr, fp)
+}
+
+// waitAndPrint polls the job until it reaches a terminal state, then fetches
+// and prints the result bytes.
+func waitAndPrint(addr, id string) error {
+	for {
+		var view service.View
+		if err := getJSON(addr, "/v1/jobs/"+id, &view); err != nil {
+			return err
+		}
+		if view.State.Terminal() {
+			if view.State != service.StateDone {
+				return fmt.Errorf("job %s finished %s: %s", id, view.State, view.Error)
+			}
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fetchRaw(addr, "/v1/jobs/"+id+"/result")
+}
+
+// jobQuery serves the status/result/trace client verbs.
+func jobQuery(verb string, args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("partitiond "+verb, flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8091", "daemon address")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch verb {
+	case "status":
+		return fetchRaw(*addr, "/v1/jobs/"+id)
+	case "result":
+		return fetchRaw(*addr, "/v1/jobs/"+id+"/result")
+	default: // trace
+		return fetchRaw(*addr, "/v1/jobs/"+id+"/trace")
+	}
+}
+
+// listQuery serves the jobs/plans client verbs.
+func listQuery(verb string, args []string) error {
+	fs := flag.NewFlagSet("partitiond "+verb, flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8091", "daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return fetchRaw(*addr, "/v1/"+verb)
+}
+
+// fetchRaw streams a GET response to stdout (NDJSON traces stream live).
+func fetchRaw(addr, path string) error {
+	resp, err := http.Get(baseURL(addr) + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close() // the status error is the one worth reporting
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// getJSON decodes a JSON GET response.
+func getJSON(addr, path string, v any) error {
+	resp, err := http.Get(baseURL(addr) + path)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return "http://" + addr
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Named-plan parameters as JSON. Every registered plan bakes its scenario
+// parameters in (the values come from the paper's §V setups and are part of
+// the byte-identical summary contract), but the partitiond API needs to
+// tell clients what those parameters ARE: /v1/plans serves each registry
+// entry with its canonical parameter document, so a spec author can see
+// what "attack temporal" will run without reading plans.go. The documents
+// are descriptive, not configurable — changing a value here without
+// changing the plan is a lie the test below cannot catch, so keep the two
+// in sync by construction (the maps quote the same constants).
+
+// planParams mirrors the canonical parameters baked into each registered
+// plan, keyed by registry name. Durations are rendered as Go duration
+// strings, shares as fractions.
+var planParams = map[string]any{
+	"temporal": map[string]any{
+		"attacker_share": 0.30,
+		"victims":        "n/8 lagging nodes",
+		"hold_for":       "8h",
+		"heal_for":       "4h",
+		"warmup":         "6h",
+	},
+	"doublespend": map[string]any{
+		"attacker_share": 0.30,
+		"victims":        "n/10 lagging nodes",
+		"hold_for":       "8h",
+		"heal_for":       "4h",
+		"track_payment":  true,
+		"seed_salt":      5,
+	},
+	"majority51": map[string]any{
+		"attacker_share": 0.30,
+		"isolated_share": 0.657,
+		"mine_for":       "24h",
+		"seed_salt":      6,
+	},
+	"cascade": map[string]any{
+		"victim_as":     24940,
+		"as_size":       30,
+		"border_nodes":  6,
+		"cut_fractions": []float64{0.1, 0.2, 0.5},
+		"run_for":       "12h",
+		"seed_salt":     7,
+	},
+	"spatial": map[string]any{
+		"hijacked_as":      24940,
+		"prefix_coverage":  0.95,
+		"mining_ases":      []int{37963, 45102, 58563},
+		"country_scenario": "CN",
+	},
+	"spatiotemporal": map[string]any{
+		"trace_window": "24h",
+		"sample_every": "10m",
+		"min_ases":     5,
+		"capabilities": []string{"routing", "mining", "both"},
+		"seed_salt":    9,
+	},
+	"logical": map[string]any{
+		"cve":           "CVE-2018-17144",
+		"top_targets":   3,
+		"capture_tiers": []int{1, 2, 20, 100},
+		"relay_window":  "12h",
+		"seed_salt":     8,
+	},
+}
+
+// PlanParams returns the named plan's canonical parameter document as
+// stable JSON (sorted keys — encoding/json sorts map keys). Unknown names
+// report the sorted registry, like NewPlan.
+func PlanParams(name string) (json.RawMessage, error) {
+	params, ok := planParams[name]
+	if !ok {
+		return nil, fmt.Errorf("attack: unknown plan %q (registry: %s)",
+			name, strings.Join(PlanNames(), ", "))
+	}
+	doc, err := json.Marshal(params)
+	if err != nil {
+		return nil, fmt.Errorf("attack: encode %s params: %w", name, err)
+	}
+	return doc, nil
+}

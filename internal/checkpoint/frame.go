@@ -92,3 +92,14 @@ func Fingerprint(parts ...string) string {
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
+
+// StudyFingerprint is the stable fingerprint of a canonicalized study spec:
+// the FNV hash of the spec's schema name and its canonical JSON document,
+// domain-separated from the positional Fingerprint form above. It is THE
+// shared key between the partitiond result cache and the resume journals —
+// core.Spec.Fingerprint computes it, Journal headers record it, and the
+// service addresses cached results by it, so a cache entry and the journal
+// that produced it can never disagree about which run they describe.
+func StudyFingerprint(schema string, canonical []byte) string {
+	return Fingerprint("study", schema, string(canonical))
+}

@@ -68,10 +68,15 @@ type Record struct {
 	Input string `json:"input,omitempty"`
 }
 
-// header is the first framed line of a journal.
+// header is the first framed line of a journal. Spec optionally embeds the
+// canonical study-spec document the run was keyed by (partitiond writes it
+// so a journal found after a crash is self-describing: the daemon can
+// rebuild and resume the job from the journal alone). Journals written
+// without a spec stay byte-identical to the pre-spec format.
 type header struct {
-	Schema      string `json:"schema"`
-	Fingerprint string `json:"fingerprint"`
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
 }
 
 // Journal is an append-only write-ahead journal. Append is safe for
@@ -85,17 +90,25 @@ type Journal struct {
 	f           *os.File
 	bw          *bufio.Writer
 	fingerprint string
+	spec        []byte
 	appended    int
 }
 
 // Create opens a fresh journal at path (truncating any existing file) and
 // writes the ckpt.v1 header for the given run fingerprint.
 func Create(path, fingerprint string) (*Journal, error) {
+	return CreateWithSpec(path, fingerprint, nil)
+}
+
+// CreateWithSpec is Create with the canonical study-spec document embedded
+// in the header, making the journal self-describing (see header). A nil or
+// empty spec writes the plain header.
+func CreateWithSpec(path, fingerprint string, spec []byte) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create journal: %w", err)
 	}
-	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, spec: spec}
 	if err := j.writeHeader(); err != nil {
 		_ = f.Close() // the header error is the one worth reporting
 		return nil, err
@@ -135,7 +148,7 @@ func Resume(path, fingerprint string) (*Journal, *Log, error) {
 
 // writeHeader frames and flushes the schema/fingerprint line.
 func (j *Journal) writeHeader() error {
-	payload, err := json.Marshal(header{Schema: SchemaV1, Fingerprint: j.fingerprint})
+	payload, err := json.Marshal(header{Schema: SchemaV1, Fingerprint: j.fingerprint, Spec: j.spec})
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode header: %w", err)
 	}

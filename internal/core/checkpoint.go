@@ -42,6 +42,10 @@ type CheckpointedRun struct {
 	Replayed int
 	// Faults lists the quarantined and exhausted experiments, task order.
 	Faults []Fault
+	// Stopped reports that the sweep quit at an experiment boundary before
+	// completing — a graceful drain. The journal holds the completed
+	// prefix; a resumed run finishes the rest byte-identically.
+	Stopped bool
 }
 
 // Completed reports how many experiments produced output.
@@ -66,22 +70,24 @@ func (r *CheckpointedRun) Exhausted() bool {
 }
 
 // Fingerprint identifies the study's evaluation run for the checkpoint
-// journal: the seed plus every option that changes experiment output.
-// Workers and the observer are deliberately excluded — output is
-// byte-identical across worker counts and with or without instrumentation,
-// so a journal written at -workers 8 resumes correctly at -workers 1.
+// journal: the study-spec fingerprint of the `experiment all` command over
+// this study's configuration (checkpoint.StudyFingerprint of the canonical
+// spec.v1 document). Workers and the observer never reach the canonical
+// form — output is byte-identical across worker counts and with or without
+// instrumentation, so a journal written at -workers 8 resumes correctly at
+// -workers 1 — and because the partitiond result cache keys on the very
+// same spec fingerprint, a journal and the cache entry of the run it
+// checkpointed always agree.
 func (s *Study) Fingerprint() string {
-	o := s.Opts
-	return checkpoint.Fingerprint(
-		"core.runall",
-		fmt.Sprintf("seed=%d", s.seed),
-		fmt.Sprintf("tablev_days=%d", o.TableVTraceDays),
-		fmt.Sprintf("fig6a_days=%d", o.Figure6aDays),
-		fmt.Sprintf("grid=%d", o.GridSize),
-		fmt.Sprintf("nodes=%d", o.NetworkNodes),
-		fmt.Sprintf("stepbudget=%d", o.StepBudget),
-		fmt.Sprintf("faults=%+v", o.Faults),
-	)
+	spec := SpecFromStudy(s, Command{Verb: "experiment", Name: "all"})
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		// A study that was constructed at all has a valid spec; the only
+		// way here is an unrepresentable faults scenario, which no Options
+		// path can build.
+		panic(fmt.Sprintf("core: study spec fingerprint: %v", err))
+	}
+	return fp
 }
 
 // RunAllCheckpointed regenerates the evaluation like RunAll, but journals
@@ -91,13 +97,22 @@ func (s *Study) Fingerprint() string {
 // panicking or watchdog-cancelled experiment, quarantining it in the report.
 // The completed outputs are byte-identical to RunAll's for any worker count.
 func (s *Study) RunAllCheckpointed(workers int, j *checkpoint.Journal, resume *checkpoint.Log, failFast bool) (*CheckpointedRun, error) {
-	return s.runCheckpointed(experiments(), workers, j, resume, failFast)
+	return s.runCheckpointed(experiments(), workers, j, resume, failFast, nil)
+}
+
+// RunAllDrainable is RunAllCheckpointed with a quit hook, polled between
+// experiments: when it returns true the sweep stops at the next experiment
+// boundary with the journal ending on a completed record and the report's
+// Stopped flag set — the graceful-drain path of the partitiond daemon
+// (DESIGN.md §14). A nil quit never stops.
+func (s *Study) RunAllDrainable(workers int, j *checkpoint.Journal, resume *checkpoint.Log, failFast bool, quit func() bool) (*CheckpointedRun, error) {
+	return s.runCheckpointed(experiments(), workers, j, resume, failFast, quit)
 }
 
 // runCheckpointed is the seam under RunAllCheckpointed: tests inject a
 // doctored experiment list (a panicking or non-terminating entry) to prove
 // degraded-mode behavior without touching the real evaluation.
-func (s *Study) runCheckpointed(exps []experiment, workers int, j *checkpoint.Journal, resume *checkpoint.Log, failFast bool) (*CheckpointedRun, error) {
+func (s *Study) runCheckpointed(exps []experiment, workers int, j *checkpoint.Journal, resume *checkpoint.Log, failFast bool, quit func() bool) (*CheckpointedRun, error) {
 	reg := s.Opts.Obs.Registry()
 	trace := s.Opts.Obs.Tracer()
 	cReplayed := reg.Counter("checkpoint.replayed")
@@ -115,6 +130,7 @@ func (s *Study) runCheckpointed(exps []experiment, workers int, j *checkpoint.Jo
 		Root:     s.seed,
 		FailFast: failFast,
 		Skip:     replayable,
+		Quit:     quit,
 		OnOutcome: func(out parallel.Outcome[ExperimentOutput]) error {
 			rec := checkpoint.Record{Task: out.Task, Seed: out.Seed, Name: exps[out.Task].name}
 			switch {
@@ -154,7 +170,7 @@ func (s *Study) runCheckpointed(exps []experiment, workers int, j *checkpoint.Jo
 	if err != nil {
 		return nil, err
 	}
-	run := &CheckpointedRun{Outputs: sup.Results, Ran: sup.Ran}
+	run := &CheckpointedRun{Outputs: sup.Results, Ran: sup.Ran, Stopped: sup.Stopped}
 	if run.Outputs == nil {
 		// Zero experiments: keep the report's slices non-nil-consistent.
 		run.Outputs, run.Ran = []ExperimentOutput{}, []bool{}

@@ -48,7 +48,7 @@ func TestCheckpointedDegradedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		run, err := s.runCheckpointed(fakeExps(), workers, j, nil, false)
+		run, err := s.runCheckpointed(fakeExps(), workers, j, nil, false, nil)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -114,7 +114,7 @@ func TestCheckpointedDegradedRun(t *testing.T) {
 // TestCheckpointedFailFast keeps the Map contract when degradation is off.
 func TestCheckpointedFailFast(t *testing.T) {
 	s := newTestStudy(t)
-	run, err := s.runCheckpointed(fakeExps(), 1, nil, nil, true)
+	run, err := s.runCheckpointed(fakeExps(), 1, nil, nil, true, nil)
 	if run != nil || err == nil {
 		t.Fatalf("fail-fast run = %+v, %v", run, err)
 	}
@@ -137,7 +137,7 @@ func TestCheckpointedResumeReplays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.runCheckpointed(exps, 2, j, nil, false); err != nil {
+	if _, err := s.runCheckpointed(exps, 2, j, nil, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -153,7 +153,7 @@ func TestCheckpointedResumeReplays(t *testing.T) {
 		{"a", func(*Study) (string, error) { t.Error("experiment a re-ran"); return "", nil }},
 		{"b", func(*Study) (string, error) { t.Error("experiment b re-ran"); return "", nil }},
 	}
-	run, err := s.runCheckpointed(poisoned, 2, j2, log, false)
+	run, err := s.runCheckpointed(poisoned, 2, j2, log, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,6 +162,68 @@ func TestCheckpointedResumeReplays(t *testing.T) {
 	}
 	if run.Outputs[0].Text != "alpha\n" || run.Outputs[1].Text != "beta\n" {
 		t.Errorf("replayed outputs %+v", run.Outputs)
+	}
+}
+
+// TestCheckpointedDrain: a quit hook that fires after the first completed
+// experiment stops the sweep at the boundary with Stopped set, and a resumed
+// run finishes the remainder byte-identically to an uninterrupted one.
+func TestCheckpointedDrain(t *testing.T) {
+	s := newTestStudy(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	exps := []experiment{
+		{"a", func(*Study) (string, error) { return "alpha\n", nil }},
+		{"b", func(*Study) (string, error) { return "beta\n", nil }},
+		{"c", func(*Study) (string, error) { return "gamma\n", nil }},
+	}
+	j, err := checkpoint.Create(path, s.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	quit := func() bool { return ran >= 1 }
+	counted := make([]experiment, len(exps))
+	for i, e := range exps {
+		run := e.run
+		counted[i] = experiment{e.name, func(st *Study) (string, error) {
+			out, err := run(st)
+			ran++
+			return out, err
+		}}
+	}
+	run, err := s.runCheckpointed(counted, 1, j, nil, false, quit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Stopped {
+		t.Fatal("drained run did not report Stopped")
+	}
+	if run.Completed() >= len(exps) {
+		t.Fatalf("quit hook ignored: %d/%d completed", run.Completed(), len(exps))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, log, err := checkpoint.Resume(path, s.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := s.runCheckpointed(exps, 1, j2, log, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stopped || resumed.Completed() != 3 || resumed.Replayed == 0 {
+		t.Fatalf("resume after drain: %+v", resumed)
+	}
+	want := []string{"alpha\n", "beta\n", "gamma\n"}
+	for i, w := range want {
+		if resumed.Outputs[i].Text != w {
+			t.Errorf("output %d = %q, want %q", i, resumed.Outputs[i].Text, w)
+		}
 	}
 }
 

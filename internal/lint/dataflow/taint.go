@@ -89,6 +89,15 @@ type Hooks struct {
 	// ArgWhat describes a call argument judged because the callee demands
 	// that parameter. Nil uses a generic phrasing.
 	ArgWhat func(param string, callee *Func) string
+	// DemandParam reports whether a demanded callee parameter with this
+	// name and type can carry the client's tracked value at all. Demand is
+	// computed by joining every value reaching a sink, and a composite
+	// literal joins all of its fields — so a struct argument can mark
+	// sibling parameters as demanded even when their type could never hold
+	// the value (a func-typed drain hook passed beside a seed field, say).
+	// Returning false drops such a parameter from judgment and from demand
+	// propagation. Nil judges every demanded parameter.
+	DemandParam func(name string, t types.Type) bool
 	// ReportsTainted declares the client's polarity: true when it reports
 	// sites whose value IS tainted (detmerge), false when it reports sites
 	// whose value is NOT (seedflow). Judgments the engine cannot resolve —
@@ -169,7 +178,7 @@ func (e *Engine) CheckFunction(fn *Func, report func(Site)) {
 		if target == nil || target == fn {
 			return
 		}
-		dem := e.Demanded(target)
+		dem := e.judgedDemand(target)
 		if dem == 0 {
 			return
 		}
@@ -219,7 +228,7 @@ func (e *Engine) Demanded(fn *Func) uint64 {
 		if target == nil || target == fn {
 			return
 		}
-		dem := e.Demanded(target)
+		dem := e.judgedDemand(target)
 		if dem == 0 {
 			return
 		}
@@ -229,6 +238,24 @@ func (e *Engine) Demanded(fn *Func) uint64 {
 	})
 	e.demMemo[fn.Key] = mask
 	return mask
+}
+
+// judgedDemand is Demanded restricted by the client's DemandParam hook:
+// bits for parameters that can never carry the tracked value are cleared
+// before call-site judgment and before demand propagates to callers.
+func (e *Engine) judgedDemand(fn *Func) uint64 {
+	dem := e.Demanded(fn)
+	if dem == 0 || e.Hooks.DemandParam == nil {
+		return dem
+	}
+	names, _ := paramNames(fn)
+	tps := paramTypes(fn)
+	for i := 0; i < len(names) && i < len(tps); i++ {
+		if dem&(1<<uint(i)) != 0 && !e.Hooks.DemandParam(names[i], tps[i]) {
+			dem &^= 1 << uint(i)
+		}
+	}
+	return dem
 }
 
 // ReturnTaint is fn's return summary: the join of every returned
@@ -323,6 +350,26 @@ func demandedArgs(info *types.Info, call *ast.CallExpr, target *Func, dem uint64
 		}
 		if argIdx < len(call.Args) {
 			out = append(out, paramArg{name: names[i], expr: call.Args[argIdx]})
+		}
+	}
+	return out
+}
+
+// paramTypes lists the callee's parameter types in bit order (receiver
+// first for methods), parallel to paramNames.
+func paramTypes(fn *Func) []types.Type {
+	info := fn.Pkg.Info
+	var out []types.Type
+	if fn.Decl.Recv != nil && len(fn.Decl.Recv.List) == 1 {
+		out = append(out, info.TypeOf(fn.Decl.Recv.List[0].Type))
+	}
+	for _, field := range fn.Decl.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, info.TypeOf(field.Type))
 		}
 	}
 	return out

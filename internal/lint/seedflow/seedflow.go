@@ -8,8 +8,11 @@
 // The taint roots are where seeds legitimately originate: struct fields,
 // package-level constants/variables, and closure parameters whose name
 // contains "seed" (closures receive task seeds from the parallel harness);
-// values returned by flag parsing; and anything derived from an
-// already-rooted stream. The sinks are the RNG construction and re-seeding
+// values returned by flag parsing or spec parsing (core.ParseSpec is the
+// service boundary's flag surface); and anything derived from an
+// already-rooted stream. Func-typed parameters are never judged as seed
+// carriers: they are control hooks, and demand reaching them is an
+// artifact of joining whole struct literals. The sinks are the RNG construction and re-seeding
 // points (math/rand NewSource/New, math/rand/v2 NewPCG/NewChaCha8,
 // stats.NewFast/NewRand, (*Fast).Seed, (*rand.Rand).Seed,
 // parallel.DeriveSeed). A sink whose seed expression is definitely not
@@ -36,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "seedflow",
 	Doc: "report RNG streams whose seed is not dataflow-derived from a " +
 		"study/scenario/task seed, across call boundaries",
-	Version:  "1",
+	Version:  "2",
 	Requires: []*analysis.Analyzer{dataflow.Analyzer},
 	Run:      run,
 }
@@ -126,6 +129,15 @@ func hooks() dataflow.Hooks {
 		ArgWhat: func(param string, callee *dataflow.Func) string {
 			return "argument for seed parameter \"" + param + "\" of " + callee.Key
 		},
+		DemandParam: func(name string, t types.Type) bool {
+			// A func-typed parameter is a control hook, not data: no seed
+			// can flow through it to an integer sink. Without this filter a
+			// supervision-struct literal (seed field beside a quit hook)
+			// would mark the hook parameter as seed-demanded and flag the
+			// nil a caller passes for it.
+			_, isFunc := t.Underlying().(*types.Signature)
+			return !isFunc
+		},
 	}
 }
 
@@ -136,6 +148,12 @@ func callTaint(ev *dataflow.Evaluator, call *ast.CallExpr, callee *types.Func) (
 	}
 	// Flag values are externally controlled inputs — legitimate seed origins.
 	if pkg == "flag" {
+		return dataflow.Rooted, true
+	}
+	// A parsed spec document is the service boundary's flag surface: the
+	// seed it carries was chosen by the submitting client (DESIGN.md §14),
+	// exactly as legitimate an origin as a -seed flag.
+	if dataflow.KeyOf(callee) == "repro/internal/core.ParseSpec" {
 		return dataflow.Rooted, true
 	}
 	key := dataflow.KeyOf(callee)

@@ -50,3 +50,21 @@ func conduit(v int64) *rand.Rand {
 func caller(c Config) *rand.Rand {
 	return conduit(c.Seed)
 }
+
+// Supervision mirrors the parallel harness: a seed field beside a control
+// hook. The struct-literal join makes the engine see both `root` and
+// `quit` as demanded by supervised — but a func-typed parameter cannot
+// carry a seed, so the nil a caller passes for it is not a finding.
+type Supervision struct {
+	Root int64
+	Quit func() bool
+}
+
+func supervised(root int64, quit func() bool) int64 {
+	sup := Supervision{Root: root, Quit: quit}
+	return rand.New(rand.NewSource(sup.Root)).Int63()
+}
+
+func drainless(c Config) int64 {
+	return supervised(c.Seed, nil)
+}

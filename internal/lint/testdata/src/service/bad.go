@@ -1,0 +1,11 @@
+// Positive cases: the service layer is covered — a wall-clock read in the
+// job runner or cache would break the identical-spec/identical-bytes
+// contract.
+package service
+
+import "time"
+
+func runJob() {
+	_ = time.Now()               // want `time.Now in simulation package "service"`
+	time.Sleep(time.Millisecond) // want `time.Sleep in simulation package "service"`
+}

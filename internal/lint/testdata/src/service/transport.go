@@ -1,0 +1,11 @@
+// Negative case: transport*.go is the service package's HTTP boundary —
+// stream pacing and poll intervals are wall-clock concerns by nature and
+// are exempt.
+package service
+
+import "time"
+
+func pollStream() {
+	time.Sleep(25 * time.Millisecond)
+	_ = time.Now()
+}

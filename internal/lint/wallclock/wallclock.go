@@ -12,10 +12,18 @@
 // runs. The crash-safety layer (internal/checkpoint) is covered because a
 // journal or its fingerprints must hash and replay identically across
 // runs; wall-clock timestamps in records would break resume.
+//
+// The service layer (internal/service) is covered with one carve-out: files
+// named transport*.go hold the daemon's HTTP boundary, where stream pacing
+// and poll intervals are genuine wall-clock concerns that can never reach a
+// simulation. Everything else in the package — the job runner, the result
+// cache, the spec dispatch — shares the simulation packages' contract that
+// identical specs produce identical bytes, which a clock read would break.
 package wallclock
 
 import (
 	"go/ast"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint/analysis"
@@ -27,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "bans time.Now/time.Since/time.Until/time.Sleep in simulation " +
 		"packages, where time must come from the event clock",
-	Version: "1",
+	Version: "2",
 	Run:     run,
 }
 
@@ -43,6 +51,14 @@ var simPackages = map[string]bool{
 	"sim":        true,
 	"p2p":        true,
 	"core":       true,
+	"service":    true,
+}
+
+// transportExempt reports whether the file is a service-package transport
+// file (transport*.go), the HTTP boundary allowed to pace itself on the
+// wall clock.
+func transportExempt(pkgLeaf, filename string) bool {
+	return pkgLeaf == "service" && strings.HasPrefix(filepath.Base(filename), "transport")
 }
 
 // banned are the time functions that read or wait on the host clock.
@@ -55,11 +71,15 @@ var banned = map[string]bool{
 
 func run(pass *analysis.Pass) (any, error) {
 	parts := strings.Split(pass.Pkg.Path(), "/")
-	if !simPackages[parts[len(parts)-1]] {
+	leaf := parts[len(parts)-1]
+	if !simPackages[leaf] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		if transportExempt(leaf, pass.Fset.File(f.Pos()).Name()) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -10,8 +10,9 @@ import (
 // TestWallClock covers clock reads inside a simulation package, the
 // fault-injection engine (fault timing must come from the event clock),
 // the observability layer (trace timestamps must be simulation ticks), the
-// crash-safety layer (journal records must replay identically), and the
-// tooling-package exemption.
+// crash-safety layer (journal records must replay identically), the
+// service layer (identical specs must produce identical bytes) with its
+// transport*.go carve-out, and the tooling-package exemption.
 func TestWallClock(t *testing.T) {
-	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "faults", "obs", "checkpoint", "tools")
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "faults", "obs", "checkpoint", "service", "tools")
 }

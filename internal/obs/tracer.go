@@ -147,6 +147,29 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
+// EventsSince returns the held events whose sequence number is at least
+// seq, oldest-first, plus the cursor to pass next time (one past the newest
+// event ever emitted, whether or not it survived the ring). A live consumer
+// — the partitiond trace stream — polls this with its advancing cursor and
+// receives each event exactly once; events evicted before a poll are simply
+// absent, which the dense Seq numbering makes detectable. A nil tracer
+// returns (nil, seq).
+func (t *Tracer) EventsSince(seq uint64) ([]Event, uint64) {
+	if t == nil {
+		return nil, seq
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for i := 0; i < t.n; i++ {
+		ev := t.ring[(t.start+i)%len(t.ring)]
+		if ev.Seq >= seq {
+			out = append(out, ev)
+		}
+	}
+	return out, t.seq
+}
+
 // Events returns the held events oldest-first. A nil tracer returns nil.
 func (t *Tracer) Events() []Event {
 	if t == nil {
@@ -160,6 +183,11 @@ func (t *Tracer) Events() []Event {
 	}
 	return out
 }
+
+// StreamEvents marks a JSONL header whose event count is not known up
+// front: a live NDJSON stream writes its header before the run finishes, so
+// it carries -1 and consumers count events themselves.
+const StreamEvents = -1
 
 // traceHeader is the first line of a JSONL export.
 type traceHeader struct {
@@ -186,6 +214,47 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// StreamEncoder writes the obs.trace.v1 framing incrementally: one header
+// line up front (with the StreamEvents count, since a live stream cannot
+// know its length), then batches of events as they arrive, each batch
+// flushed so an NDJSON consumer sees events without buffering delay. It is
+// the encoder behind the partitiond /trace endpoint; WriteJSONL remains the
+// bounded-export form.
+type StreamEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewStreamEncoder writes the stream header and returns the encoder. The
+// header reports StreamEvents (-1) events and zero dropped; eviction
+// accounting for live streams is the consumer's job via Seq gaps.
+func NewStreamEncoder(w io.Writer) (*StreamEncoder, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Schema: SchemaV1, Events: StreamEvents}); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return &StreamEncoder{bw: bw, enc: enc}, nil
+}
+
+// Encode appends a batch of events to the stream and flushes it.
+func (e *StreamEncoder) Encode(events ...Event) error {
+	for _, ev := range events {
+		if err := e.enc.Encode(ev); err != nil {
+			return err
+		}
+		e.n++
+	}
+	return e.bw.Flush()
+}
+
+// Encoded reports how many events the stream has carried.
+func (e *StreamEncoder) Encoded() int { return e.n }
+
 // TraceLog is a decoded JSONL export.
 type TraceLog struct {
 	Schema  string
@@ -211,7 +280,11 @@ func DecodeJSONL(r io.Reader) (*TraceLog, error) {
 	if hdr.Schema != SchemaV1 {
 		return nil, fmt.Errorf("obs: unknown trace schema %q (want %q)", hdr.Schema, SchemaV1)
 	}
-	log := &TraceLog{Schema: hdr.Schema, Dropped: hdr.Dropped, Events: make([]Event, 0, hdr.Events)}
+	capHint := hdr.Events
+	if capHint < 0 {
+		capHint = 0
+	}
+	log := &TraceLog{Schema: hdr.Schema, Dropped: hdr.Dropped, Events: make([]Event, 0, capHint)}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -226,7 +299,9 @@ func DecodeJSONL(r io.Reader) (*TraceLog, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(log.Events) != hdr.Events {
+	// A streaming header (events = -1) never pinned a count; bounded
+	// exports must match theirs exactly.
+	if hdr.Events >= 0 && len(log.Events) != hdr.Events {
 		return nil, fmt.Errorf("obs: trace header claims %d events, found %d", hdr.Events, len(log.Events))
 	}
 	return log, nil

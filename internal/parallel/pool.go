@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Pool is the resident counterpart of Map/Trials: a long-lived bounded
+// worker pool with an admission queue, built for the partitiond job runner.
+// Where Map fans a known task list out and returns, a Pool accepts work for
+// the lifetime of a daemon and drains gracefully on shutdown.
+//
+// The determinism story is inherited rather than imposed: the pool promises
+// nothing about execution order (jobs are independent, content-addressed
+// runs whose outputs are deterministic in their specs), so all it owes the
+// caller is supervision — a panicking job is recovered, attributed, and
+// reported through the OnPanic hook instead of tearing down the daemon —
+// and a drain barrier that lets every in-flight job reach a safe boundary.
+type Pool struct {
+	tasks   chan func()
+	onPanic func(*PanicError)
+
+	mu       sync.Mutex
+	draining bool
+	queued   int
+	running  int
+	done     sync.WaitGroup
+}
+
+// NewPool starts a pool of the given width with a bounded admission queue.
+// workers <= 0 means DefaultWorkers(); queue <= 0 means an unbuffered
+// hand-off (a submission is admitted only when a worker is free). onPanic
+// observes recovered job panics (nil discards them); it runs on the worker
+// that recovered, serialized per worker but not across workers.
+func NewPool(workers, queue int, onPanic func(*PanicError)) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue), onPanic: onPanic}
+	p.done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.work(w)
+	}
+	return p
+}
+
+// work is one resident worker: it drains the task channel until Drain
+// closes it, recovering and attributing panics per task.
+func (p *Pool) work(id int) {
+	defer p.done.Done()
+	for task := range p.tasks {
+		p.begin()
+		p.run(id, task)
+		p.finish()
+	}
+}
+
+// run executes one task under the panic supervisor.
+func (p *Pool) run(worker int, task func()) {
+	defer func() {
+		if r := recover(); r != nil && p.onPanic != nil {
+			p.onPanic(&PanicError{Task: worker, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	task()
+}
+
+func (p *Pool) begin() {
+	p.mu.Lock()
+	p.queued--
+	p.running++
+	p.mu.Unlock()
+}
+
+func (p *Pool) finish() {
+	p.mu.Lock()
+	p.running--
+	p.mu.Unlock()
+}
+
+// TrySubmit offers a task to the pool without blocking. It reports false —
+// the admission-control signal, a 429 at the service boundary — when the
+// queue is full or the pool is draining.
+func (p *Pool) TrySubmit(task func()) bool {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return false
+	}
+	select {
+	case p.tasks <- task:
+		p.queued++
+		p.mu.Unlock()
+		return true
+	default:
+		p.mu.Unlock()
+		return false
+	}
+}
+
+// Queued reports tasks admitted but not yet started.
+func (p *Pool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// Running reports tasks currently executing.
+func (p *Pool) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Draining reports whether Drain has been called. Long-running jobs poll
+// this (via the service's quit hook) to stop at their next safe boundary —
+// the checkpointed sweep checks it between experiments, so a drained
+// daemon's journal always ends on a completed record.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Drain closes admission and blocks until every admitted task has finished.
+// Queued tasks still run (their submitters were promised execution); jobs
+// that honor Draining stop early at their next boundary. Drain is
+// idempotent only in effect — it must be called exactly once.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	close(p.tasks)
+	p.done.Wait()
+}

@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEverythingAdmitted: every task TrySubmit admits runs exactly
+// once before Drain returns.
+func TestPoolRunsEverythingAdmitted(t *testing.T) {
+	p := NewPool(4, 64, nil)
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			admitted++
+		}
+	}
+	p.Drain()
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if got := int(ran.Load()); got != admitted {
+		t.Fatalf("ran %d of %d admitted tasks", got, admitted)
+	}
+}
+
+// TestPoolAdmissionControl: a full queue refuses work instead of blocking —
+// the 429 signal — and a draining pool refuses everything.
+func TestPoolAdmissionControl(t *testing.T) {
+	var release sync.WaitGroup
+	release.Add(1)
+	p := NewPool(1, 1, nil)
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); release.Wait() }) {
+		t.Fatal("first submission refused")
+	}
+	<-started
+	// Worker is blocked and the queue is empty; capacity 1 admits exactly
+	// one more.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.TrySubmit(func() {}) {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("queue of 1 admitted %d extra tasks", admitted)
+	}
+	release.Done()
+	p.Drain()
+	if p.TrySubmit(func() { t.Error("task ran after drain") }) {
+		t.Fatal("drained pool admitted a task")
+	}
+	if !p.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+}
+
+// TestPoolRecoversPanics: a panicking job is attributed through the hook;
+// the pool keeps serving.
+func TestPoolRecoversPanics(t *testing.T) {
+	var mu sync.Mutex
+	var panics []*PanicError
+	p := NewPool(2, 8, func(pe *PanicError) {
+		mu.Lock()
+		panics = append(panics, pe)
+		mu.Unlock()
+	})
+	var ran atomic.Int64
+	if !p.TrySubmit(func() { panic("job crashed") }) {
+		t.Fatal("panicking job refused")
+	}
+	if !p.TrySubmit(func() { ran.Add(1) }) {
+		t.Fatal("follow-up job refused")
+	}
+	p.Drain()
+	if ran.Load() != 1 {
+		t.Error("pool stopped serving after a panic")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(panics) != 1 || panics[0].Value != "job crashed" || len(panics[0].Stack) == 0 {
+		t.Fatalf("panic evidence %+v", panics)
+	}
+}
+
+// TestPoolGauges: Queued/Running settle to zero after a drain.
+func TestPoolGauges(t *testing.T) {
+	p := NewPool(2, 4, nil)
+	for i := 0; i < 6; i++ {
+		p.TrySubmit(func() {})
+	}
+	p.Drain()
+	if p.Queued() != 0 || p.Running() != 0 {
+		t.Fatalf("after drain: queued=%d running=%d", p.Queued(), p.Running())
+	}
+}

@@ -43,6 +43,10 @@ type Supervised[T any] struct {
 	Ran []bool
 	// Failures lists the failed tasks in task order.
 	Failures []Failure
+	// Stopped reports that the sweep quit early: Quit returned true before
+	// every task was claimed, so some tasks neither ran nor failed. The
+	// journaled prefix is valid; a resume finishes the rest.
+	Stopped bool
 }
 
 // Completed reports how many tasks produced a result.
@@ -75,6 +79,12 @@ type Supervision[T any] struct {
 	// error aborts the whole sweep: a journal that cannot record outcomes
 	// must not let the run continue as if it could.
 	OnOutcome func(Outcome[T]) error
+	// Quit, polled before each task is claimed, stops the sweep at the
+	// next task boundary when it returns true — the graceful-drain seam.
+	// In-flight tasks finish and are journaled; unclaimed tasks are left
+	// for a resumed run, and the report's Stopped flag is set. Nil never
+	// quits.
+	Quit func() bool
 }
 
 // SuperviseTrials runs n seeded trials under per-task supervision: panics
@@ -146,8 +156,16 @@ func SuperviseTrials[T any](cfg Supervision[T], n int, fn func(trial int, seed i
 		}
 		run(i)
 	}
+	var stopped atomic.Bool
+	quit := func() bool {
+		if cfg.Quit != nil && cfg.Quit() {
+			stopped.Store(true)
+			return true
+		}
+		return false
+	}
 	if workers == 1 {
-		for i := 0; i < n && !abort.Load(); i++ {
+		for i := 0; i < n && !abort.Load() && !quit(); i++ {
 			step(i)
 		}
 	} else {
@@ -157,7 +175,7 @@ func SuperviseTrials[T any](cfg Supervision[T], n int, fn func(trial int, seed i
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for !abort.Load() {
+				for !abort.Load() && !quit() {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -168,6 +186,7 @@ func SuperviseTrials[T any](cfg Supervision[T], n int, fn func(trial int, seed i
 		}
 		wg.Wait()
 	}
+	sup.Stopped = stopped.Load()
 	if hookErr != nil {
 		return nil, hookErr
 	}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The state directory is the daemon's only persistence: every artifact is
+// keyed by the spec fingerprint, so the layout IS the content-addressed
+// cache and doubles as the crash/restart protocol.
+//
+//	<fp>.spec.json — the submitted spec, written before the job is admitted
+//	                 (the write-ahead record a restarted daemon rebuilds from)
+//	<fp>.ckpt      — the checkpoint journal of an `experiment all` job
+//	<fp>.result    — the raw output bytes, written atomically on completion
+//	<fp>.job.json  — the completion metadata (exit code), written after .result
+//
+// A spec sidecar without a result marks an unfinished job; Resurrect
+// resubmits those on startup, resuming any journal. Results are immutable
+// once written — a fingerprint collision-free spec always reproduces the
+// same bytes, so the cache never needs invalidation.
+type stateDir struct {
+	dir string
+}
+
+func newStateDir(dir string) (*stateDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	return &stateDir{dir: dir}, nil
+}
+
+func (s *stateDir) specPath(fp string) string    { return filepath.Join(s.dir, fp+".spec.json") }
+func (s *stateDir) journalPath(fp string) string { return filepath.Join(s.dir, fp+".ckpt") }
+func (s *stateDir) resultPath(fp string) string  { return filepath.Join(s.dir, fp+".result") }
+func (s *stateDir) metaPath(fp string) string    { return filepath.Join(s.dir, fp+".job.json") }
+
+// jobMeta is the completion metadata persisted next to the result bytes.
+type jobMeta struct {
+	Fingerprint string `json:"fingerprint"`
+	Exit        int    `json:"exit"`
+	Faults      int    `json:"faults,omitempty"`
+	Replayed    int    `json:"replayed,omitempty"`
+}
+
+// writeSpec records the submitted spec before admission — write-ahead, so a
+// daemon killed between admission and completion can rebuild the job.
+func (s *stateDir) writeSpec(fp string, doc []byte) error {
+	return atomicWrite(s.specPath(fp), doc)
+}
+
+// dropSpec removes the sidecar of a job that was refused admission.
+func (s *stateDir) dropSpec(fp string) {
+	_ = os.Remove(s.specPath(fp))
+}
+
+// writeResult persists a completed job: result bytes first, metadata after,
+// both atomic — a crash between the two leaves a result without metadata,
+// which loadResult treats as unfinished and the job re-runs.
+func (s *stateDir) writeResult(fp string, output []byte, meta jobMeta) error {
+	if err := atomicWrite(s.resultPath(fp), output); err != nil {
+		return err
+	}
+	doc, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("service: encode job meta: %w", err)
+	}
+	return atomicWrite(s.metaPath(fp), doc)
+}
+
+// loadResult returns the cached output and metadata of a completed job, or
+// ok=false when the fingerprint has no (complete) persisted result.
+func (s *stateDir) loadResult(fp string) (output []byte, meta jobMeta, ok bool) {
+	doc, err := os.ReadFile(s.metaPath(fp))
+	if err != nil {
+		return nil, jobMeta{}, false
+	}
+	if err := json.Unmarshal(doc, &meta); err != nil || meta.Fingerprint != fp {
+		return nil, jobMeta{}, false
+	}
+	output, err = os.ReadFile(s.resultPath(fp))
+	if err != nil {
+		return nil, jobMeta{}, false
+	}
+	return output, meta, true
+}
+
+// unfinished scans for spec sidecars without a completed result — the jobs a
+// restarted daemon must resubmit — sorted by fingerprint for a deterministic
+// resubmission order.
+func (s *stateDir) unfinished() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: scan state dir: %w", err)
+	}
+	var fps []string
+	for _, e := range entries {
+		name := e.Name()
+		fp, found := strings.CutSuffix(name, ".spec.json")
+		if !found {
+			continue
+		}
+		if _, _, done := s.loadResult(fp); done {
+			continue
+		}
+		fps = append(fps, fp)
+	}
+	return fps, nil
+}
+
+// readSpec loads a persisted spec sidecar.
+func (s *stateDir) readSpec(fp string) ([]byte, error) {
+	return os.ReadFile(s.specPath(fp))
+}
+
+// hasJournal reports whether an interrupted job left a checkpoint journal.
+func (s *stateDir) hasJournal(fp string) bool {
+	_, err := os.Stat(s.journalPath(fp))
+	return err == nil
+}
+
+// atomicWrite writes via a temp file + rename so readers never observe a
+// partial artifact.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: commit %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

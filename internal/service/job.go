@@ -1,0 +1,121 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a pool worker.
+	StateQueued State = "queued"
+	// StateRunning: executing on the pool.
+	StateRunning State = "running"
+	// StateDone: completed; result bytes are persisted and servable.
+	StateDone State = "done"
+	// StateFailed: the run returned a hard error; Error carries it.
+	StateFailed State = "failed"
+	// StateInterrupted: gracefully drained mid-run. The checkpoint journal
+	// holds the completed prefix; a restarted daemon resumes the job.
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state is final for this daemon's lifetime.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateInterrupted
+}
+
+// job is one submitted spec's runtime record.
+type job struct {
+	spec core.Spec
+	fp   string
+	// observer powers the live trace stream; nil for cache-served jobs
+	// (their run happened in another process — there is nothing to stream).
+	observer *obs.Observer
+
+	mu       sync.Mutex
+	state    State
+	output   []byte
+	exit     int
+	errMsg   string
+	cacheHit bool
+	replayed int
+	faults   int
+	// done is closed exactly once when the job reaches a terminal state.
+	done chan struct{}
+}
+
+func newJob(spec core.Spec, fp string, observer *obs.Observer) *job {
+	return &job{
+		spec:     spec,
+		fp:       fp,
+		observer: observer,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+// View is the serializable status of a job — the /v1/jobs/{id} document.
+type View struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Spec     core.Spec `json:"spec"`
+	Exit     int       `json:"exit"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Replayed int       `json:"replayed,omitempty"`
+	Faults   int       `json:"faults,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+func (j *job) view() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID:       j.fp,
+		State:    j.state,
+		Spec:     j.spec,
+		Exit:     j.exit,
+		CacheHit: j.cacheHit,
+		Replayed: j.replayed,
+		Faults:   j.faults,
+		Error:    j.errMsg,
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and releases waiters.
+func (j *job) finish(state State, output []byte, exit int, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.output = output
+	j.exit = exit
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// result returns the servable output bytes, ok only when done.
+func (j *job) result() (output []byte, exit int, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, 0, false
+	}
+	return j.output, j.exit, true
+}
+
+// terminal reports whether the job has finished (any terminal state).
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}

@@ -1,0 +1,309 @@
+// Package service is the shared execution layer behind the partitiond
+// daemon and the partition CLI (DESIGN.md §14): one RunSpec entry point that
+// dispatches a validated core.Spec to the experiment, attack, defense, and
+// export surfaces, plus a resident Service that runs specs as jobs on a
+// bounded pool with a content-addressed result cache and checkpointed
+// graceful drain. The CLI is a thin spec builder over RunSpec; the daemon
+// serializes the same specs over HTTP — both produce byte-identical output
+// for the same spec, which is what lets the cache serve either.
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// Exit codes shared by the CLI and the daemon's job reports (README "Exit
+// codes"): distinct non-zero codes let the crash harness and CI tell a
+// degraded-but-complete sweep from a watchdog cancellation without parsing
+// stderr.
+const (
+	ExitClean     = 0
+	ExitHardError = 1
+	ExitDegraded  = 3
+	ExitExhausted = 4
+)
+
+// RunOptions carries the invocation context RunSpec cannot learn from the
+// spec itself: output-neutral extra study options (an observer), the
+// crash-safety journal of a checkpointed `experiment all`, and the drain
+// hook.
+type RunOptions struct {
+	// Extra options are applied on top of the spec's own at study
+	// construction. They must be output-neutral (an observer, a worker
+	// override) — the spec alone owns the result's identity.
+	Extra []core.Option
+	// Journal, when non-nil, runs `experiment all` under the crash-safety
+	// layer, write-ahead journaling every experiment boundary. Only valid
+	// for the experiment/all command.
+	Journal *checkpoint.Journal
+	// Resume replays the completed prefix of a previous journal (nil
+	// replays nothing).
+	Resume *checkpoint.Log
+	// FailFast aborts the checkpointed sweep on the first fault instead of
+	// quarantining it (the CLI's -onfault fail).
+	FailFast bool
+	// Quit, polled between experiments of a checkpointed sweep, requests a
+	// graceful drain: the sweep stops at the next boundary with the journal
+	// ending on a completed record. Nil never quits.
+	Quit func() bool
+}
+
+// RunResult is a completed (or drained) spec run.
+type RunResult struct {
+	// Output is the run's stdout text, byte-identical to the pre-service
+	// CLI's for every command.
+	Output string
+	// Exit is the run's exit classification (ExitClean, ExitDegraded,
+	// ExitExhausted). Hard errors surface as RunSpec's error instead.
+	Exit int
+	// Faults lists quarantined/exhausted experiments of a degraded
+	// checkpointed sweep.
+	Faults []core.Fault
+	// Replayed counts experiments satisfied from the resume journal.
+	Replayed int
+	// Completed and Total count the checkpointed sweep's experiments (both
+	// zero for plain runs, where completion is all-or-error).
+	Completed int
+	Total     int
+	// Stopped reports a graceful drain: the run is incomplete, its journal
+	// holds the completed prefix, and Output must not be served as a result.
+	Stopped bool
+}
+
+// RunSpec validates and executes one spec — the single entry point the CLI
+// and the daemon share. The spec names the command; opts carry the
+// invocation-level context (journal, observer, drain hook).
+func RunSpec(spec core.Spec, opts RunOptions) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Journal != nil && (spec.Run.Verb != "experiment" || spec.Run.Name != "all") {
+		return nil, fmt.Errorf("service: checkpointing applies only to `experiment all`, not %q", spec.Run)
+	}
+	study, err := core.NewFromSpec(spec, opts.Extra...)
+	if err != nil {
+		return nil, err
+	}
+	var out strings.Builder
+	switch spec.Run.Verb {
+	case "experiment":
+		if spec.Run.Name == "all" && opts.Journal != nil {
+			return runAllCheckpointed(study, &out, opts)
+		}
+		err = runExperiment(study, spec.Run.Name, &out)
+	case "attack":
+		err = runAttack(study, spec.Run.Name, &out)
+	case "defend":
+		err = runDefense(study, spec.Run.Name, &out)
+	case "export":
+		err = runExport(study, spec.Run.Name, &out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Output: out.String(), Exit: ExitClean}, nil
+}
+
+// runAllCheckpointed is `experiment all` under the crash-safety layer,
+// drainable via opts.Quit. The completed outputs are rendered exactly like
+// the plain sweep; degradation is reported through the result, not the
+// output text.
+func runAllCheckpointed(study *core.Study, out *strings.Builder, opts RunOptions) (*RunResult, error) {
+	run, err := study.RunAllDrainable(study.Opts.Workers, opts.Journal, opts.Resume, opts.FailFast, opts.Quit)
+	if err != nil {
+		return nil, err
+	}
+	for task, o := range run.Outputs {
+		if !run.Ran[task] {
+			continue
+		}
+		out.WriteString(o.Text)
+		out.WriteString("\n")
+	}
+	res := &RunResult{
+		Output:    out.String(),
+		Exit:      ExitClean,
+		Faults:    run.Faults,
+		Replayed:  run.Replayed,
+		Completed: run.Completed(),
+		Total:     len(run.Outputs),
+		Stopped:   run.Stopped,
+	}
+	switch {
+	case run.Exhausted():
+		res.Exit = ExitExhausted
+	case len(run.Faults) > 0:
+		res.Exit = ExitDegraded
+	}
+	return res, nil
+}
+
+// runExperiment renders one named experiment (or the full sweep) into w,
+// byte-identical to the pre-service CLI.
+func runExperiment(study *core.Study, name string, w io.Writer) error {
+	if name == "all" {
+		outputs, err := study.RunAll(study.Opts.Workers)
+		if err != nil {
+			return err
+		}
+		for _, out := range outputs {
+			fmt.Fprint(w, out.Text)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	switch strings.ToLower(name) {
+	case "table1":
+		fmt.Fprint(w, study.TableI().Render())
+	case "table2":
+		fmt.Fprint(w, study.TableII().Render())
+	case "table3":
+		r, err := study.TableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "table4":
+		r, err := study.TableIV()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "table5":
+		r, err := study.TableV()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "table6":
+		r, err := study.TableVI()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "table7":
+		r, err := study.TableVII()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "table8":
+		fmt.Fprint(w, study.TableVIII().Render())
+	case "figure1":
+		out, err := study.Figure1Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	case "figure2":
+		out, err := study.Figure2Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	case "figure3":
+		r, err := study.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "figure4":
+		r, err := study.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "figure5":
+		_, out, err := study.Figure5Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	case "figure6a", "figure6b", "figure6c", "figure6":
+		variants := map[string]core.Figure6Variant{
+			"figure6a": core.Figure6a, "figure6b": core.Figure6b,
+			"figure6c": core.Figure6c, "figure6": core.Figure6a,
+		}
+		r, err := study.Figure6(variants[strings.ToLower(name)])
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "figure7":
+		r, err := study.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "figure8":
+		r, err := study.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	case "healstudy":
+		// The partition-heal study sweeps the fault presets itself, so it is
+		// not part of "all" (whose golden output must not move) and ignores
+		// the spec's fault scenario.
+		r, err := study.HealStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// runAttack dispatches from the attack package's sorted plan registry;
+// unknown names report the registry in the error.
+func runAttack(study *core.Study, name string, w io.Writer) error {
+	plan, err := attack.NewPlan(strings.ToLower(name), attack.Env{
+		Pop:          study.Pop,
+		NetworkNodes: study.Opts.NetworkNodes,
+		Seed:         study.Seed(),
+		Obs:          study.Observer(),
+		Faults:       study.Opts.Faults,
+		NewSim:       study.NewSimFromPopulation,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := plan.Run(nil, study.Observer().Registry())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Summary())
+	return nil
+}
+
+// runExport writes machine-readable CSV for the data figures/tables.
+func runExport(study *core.Study, name string, w io.Writer) error {
+	switch strings.ToLower(name) {
+	case "figure3":
+		return study.ExportFigure3(w)
+	case "figure4":
+		return study.ExportFigure4(w)
+	case "figure6a":
+		return study.ExportFigure6(w, core.Figure6a)
+	case "figure6b":
+		return study.ExportFigure6(w, core.Figure6b)
+	case "figure6c":
+		return study.ExportFigure6(w, core.Figure6c)
+	case "figure8":
+		return study.ExportFigure8(w)
+	case "table5":
+		return study.ExportTableV(w)
+	case "table6":
+		return study.ExportTableVI(w)
+	default:
+		return fmt.Errorf("unknown export %q (figure3, figure4, figure6a/b/c, figure8, table5, table6)", name)
+	}
+}

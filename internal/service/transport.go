@@ -1,0 +1,180 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the daemon's HTTP boundary — the only part of the service
+// allowed to touch the wall clock (the wallclock analyzer exempts
+// transport*.go in this package): stream pacing and poll intervals are
+// transport concerns, and none of them can reach a simulation. Everything
+// simulation-facing goes through Service methods, which stay wall-clock
+// free.
+
+// maxSpecBytes bounds a submitted spec document. Specs are small (a few
+// hundred bytes); the bound keeps a misbehaving client from buffering
+// arbitrary data into the daemon.
+const maxSpecBytes = 1 << 20
+
+// tracePollInterval paces the NDJSON trace stream between empty polls.
+const tracePollInterval = 25 * time.Millisecond
+
+// Handler builds the partitiond HTTP API over the service:
+//
+//	POST /v1/jobs            submit a spec; 202 accepted, 200 cached/exists,
+//	                         429 refused (admission control), 400 invalid
+//	GET  /v1/jobs            list tracked jobs
+//	GET  /v1/jobs/{id}       job status
+//	GET  /v1/jobs/{id}/result the raw output bytes of a done job
+//	GET  /v1/jobs/{id}/trace  live NDJSON trace stream (obs.trace.v1 framing)
+//	GET  /v1/plans           the attack registry with canonical parameters
+//	GET  /v1/healthz         daemon health and pool gauges
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("read spec: %v", err))
+			return
+		}
+		view, status, err := s.Submit(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		switch status {
+		case SubmitRefused:
+			httpError(w, http.StatusTooManyRequests, "admission refused: queue full or daemon draining")
+		case SubmitAccepted:
+			writeJSON(w, http.StatusAccepted, submitReply{Status: status, Job: view})
+		default: // cached, exists
+			writeJSON(w, http.StatusOK, submitReply{Status: status, Job: view})
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		output, exit, ok := s.Result(id)
+		if !ok {
+			view, tracked := s.Status(id)
+			if !tracked {
+				httpError(w, http.StatusNotFound, "unknown job")
+				return
+			}
+			httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", view.State))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Partition-Exit", fmt.Sprintf("%d", exit))
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(output); err != nil {
+			return // client went away; a partial body cannot be salvaged
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		streamTrace(s, w, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/plans", func(w http.ResponseWriter, r *http.Request) {
+		plans, err := Plans()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, plans)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, health{
+			Status:   "ok",
+			Queued:   s.Queued(),
+			Running:  s.Running(),
+			Draining: s.Draining(),
+		})
+	})
+	return mux
+}
+
+// submitReply is the POST /v1/jobs response document.
+type submitReply struct {
+	Status SubmitStatus `json:"status"`
+	Job    View         `json:"job"`
+}
+
+// health is the /v1/healthz document.
+type health struct {
+	Status   string `json:"status"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Draining bool   `json:"draining"`
+}
+
+// streamTrace follows a job's trace as NDJSON in the obs.trace.v1 framing
+// (header with events:-1, then one event per line), flushing each batch so a
+// live consumer sees events as the job emits them, and closing when the job
+// reaches a terminal state and the tail is drained.
+func streamTrace(s *Service, w http.ResponseWriter, id string) {
+	if _, ok := s.Status(id); !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc, err := obs.NewStreamEncoder(w)
+	if err != nil {
+		return
+	}
+	flush(w)
+	var cursor uint64
+	for {
+		events, next, done, ok := s.TraceSince(id, cursor)
+		if !ok {
+			return
+		}
+		if len(events) > 0 {
+			if err := enc.Encode(events...); err != nil {
+				return // client went away
+			}
+			flush(w)
+		}
+		cursor = next
+		if done && len(events) == 0 {
+			return
+		}
+		if len(events) == 0 {
+			time.Sleep(tracePollInterval)
+		}
+	}
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -9,7 +9,11 @@
 #      -stepbudget) exits with the distinct budget-exhausted code (4) in
 #      degrade mode and aborts (1) under -onfault fail, journal intact
 #      either way;
-#   3. decoder hardening — short fuzz smokes over the ckpt.v1 decoder and
+#   3. daemon drain/resume — a SIGTERM'd partitiond drains mid-`experiment
+#      all` at an experiment boundary, and a restarted daemon over the same
+#      state directory resumes the job and serves a result byte-identical
+#      to the uninterrupted run (DESIGN.md §14);
+#   4. decoder hardening — short fuzz smokes over the ckpt.v1 decoder and
 #      the hardened snapshot loader.
 set -eu
 
@@ -72,6 +76,64 @@ set -e
 	echo "crash-harness: FAIL: fail-fast run exited $code, want 1"; exit 1; }
 [ -s "$work"/failfast/*.ckpt ] || {
 	echo "crash-harness: FAIL: fail-fast run left no journal"; exit 1; }
+
+echo "crash-harness: building partitiond"
+$GO build -o "$work/partitiond" ./cmd/partitiond
+port=$((18000 + ($$ % 1000)))
+state="$work/daemon-state"
+
+wait_ready() {
+	tries=0
+	until "$work/partitiond" jobs -addr "localhost:$port" > /dev/null 2>&1; do
+		tries=$((tries + 1))
+		[ "$tries" -lt 100 ] || {
+			echo "crash-harness: FAIL: daemon never came up on :$port"; exit 1; }
+		sleep 0.1
+	done
+}
+
+echo "crash-harness: SIGTERM partitiond mid-job, resume on restart"
+"$work/partitiond" serve -addr ":$port" -state "$state" -jobs 1 \
+	2> "$work/daemon1.err" &
+daemon=$!
+wait_ready
+id=$("$work/partitiond" submit experiment all -addr "localhost:$port" \
+	| sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$id" ] || {
+	echo "crash-harness: FAIL: submit returned no job id"; exit 1; }
+# Wait for the journal to hold the header plus at least one completed
+# experiment, then SIGTERM: the drain must land mid-sweep.
+tries=0
+while [ "$(cat "$state"/*.ckpt 2>/dev/null | wc -l)" -lt 2 ]; do
+	tries=$((tries + 1))
+	[ "$tries" -lt 200 ] || {
+		echo "crash-harness: FAIL: no experiment journaled before timeout"; exit 1; }
+	sleep 0.05
+done
+kill -TERM "$daemon"
+wait "$daemon" || {
+	echo "crash-harness: FAIL: drained daemon exited non-zero"
+	cat "$work/daemon1.err"; exit 1; }
+[ -f "$state/$id.spec.json" ] || {
+	echo "crash-harness: FAIL: drained daemon dropped the job's spec sidecar"; exit 1; }
+[ ! -f "$state/$id.result" ] || {
+	echo "crash-harness: FAIL: drain landed too late — the job already finished"; exit 1; }
+
+"$work/partitiond" serve -addr ":$port" -state "$state" -jobs 1 \
+	2> "$work/daemon2.err" &
+daemon=$!
+wait_ready
+grep -q "resuming unfinished job $id" "$work/daemon2.err" || {
+	echo "crash-harness: FAIL: restarted daemon did not resurrect the job"
+	cat "$work/daemon2.err"; exit 1; }
+"$work/partitiond" submit experiment all -addr "localhost:$port" -wait \
+	> "$work/daemon-resumed.txt" || {
+	echo "crash-harness: FAIL: resumed job did not finish"; exit 1; }
+cmp -s "$work/daemon-resumed.txt" "$work/clean.txt" || {
+	echo "crash-harness: FAIL: daemon-resumed output diverged from uninterrupted run"; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon" || {
+	echo "crash-harness: FAIL: second daemon exited non-zero"; exit 1; }
 
 echo "crash-harness: fuzz smokes (ckpt.v1 decoder, journal reader, snapshot loader)"
 $GO test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 5s ./internal/checkpoint/ > /dev/null
