@@ -4,6 +4,7 @@
 #   make lint       — go vet + the repo's own analyzers (cmd/repolint)
 #   make ci         — the gate plus gofmt, the lint baseline, and the crash harness
 #   make crash      — kill/resume harness + fuzz smokes (DESIGN.md §11)
+#   make chaos      — exhaustive crash-point recovery proofs (DESIGN.md §15)
 #   make bench      — every table/figure/ablation benchmark + the JSON gates
 #   make benchjson  — machine-readable sequential-vs-parallel report
 #   make benchobs   — observability overhead gate (DESIGN.md §9, ≤5%)
@@ -14,7 +15,7 @@
 #   make benchservice — partitiond latency + cache-hit gate (DESIGN.md §14, ≥10x)
 GO ?= go
 
-.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash bench benchjson benchobs benchckpt benchsoa benchlint benchshard benchservice clean clean-lintcache
+.PHONY: all build vet lint test race check ci fmtcheck baselinecheck crash chaos bench benchjson benchobs benchckpt benchsoa benchlint benchshard benchservice clean clean-lintcache
 
 all: check
 
@@ -60,6 +61,16 @@ fmtcheck:
 crash:
 	sh scripts/crash_harness.sh
 
+# chaos proves partitiond's durability stack point by point (DESIGN.md §15):
+# record every write/fsync/rename/dirsync a checkpointed `experiment all`
+# performs through the iofault seam, then crash a fresh run at each point —
+# torn final write included, under both the truncate-at-point and power-off
+# models — restart the daemon over the survivors, and require output
+# byte-identical to the uninterrupted run. Without CHAOS_EXHAUSTIVE the same
+# test runs a structural sample of points (the default `go test` path).
+chaos:
+	CHAOS_EXHAUSTIVE=1 $(GO) test -run 'TestChaos' -count=1 ./internal/integration/
+
 # baselinecheck enforces the lint baseline discipline: no repolint finding
 # beyond the committed lint.baseline.json, and the baseline never grows
 # stale (every entry must still correspond to a live finding). Regenerate
@@ -68,9 +79,9 @@ baselinecheck:
 	sh scripts/check_baseline.sh
 
 # ci is the single command a CI workflow should run: the full tier-1 gate
-# plus formatting cleanliness, the lint baseline gate, and the kill/resume
-# harness.
-ci: check fmtcheck baselinecheck crash
+# plus formatting cleanliness, the lint baseline gate, the kill/resume
+# harness, and the exhaustive chaos crash-point proofs.
+ci: check fmtcheck baselinecheck crash chaos
 
 bench: benchobs benchckpt benchsoa benchshard
 	$(GO) test -bench=. -benchmem ./...

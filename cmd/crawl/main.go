@@ -93,30 +93,39 @@ func run() error {
 	sim.Run(time.Duration(*hours * float64(time.Hour)))
 	c.Stop()
 
-	var w io.Writer = os.Stdout
-	var f *os.File
-	if *out != "-" {
-		var err error
-		if f, err = os.Create(*out); err != nil {
+	if *framed && *out != "-" {
+		// Framed archives to disk go through the durable file writer (the
+		// iofault seam): the bytes are fsynced before the command reports
+		// success.
+		if err := crawler.WriteFramedFile(nil, *out, c.Snapshots()); err != nil {
 			return err
 		}
-		w = f
-	}
-	write := crawler.WriteJSONL
-	if *framed {
-		write = crawler.WriteFramed
-	}
-	if err := write(w, c.Snapshots()); err != nil {
+	} else {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *out != "-" {
+			var err error
+			if f, err = os.Create(*out); err != nil {
+				return err
+			}
+			w = f
+		}
+		write := crawler.WriteJSONL
+		if *framed {
+			write = crawler.WriteFramed
+		}
+		if err := write(w, c.Snapshots()); err != nil {
+			if f != nil {
+				_ = f.Close() // the write error is the one worth reporting
+			}
+			return err
+		}
 		if f != nil {
-			_ = f.Close() // the write error is the one worth reporting
-		}
-		return err
-	}
-	if f != nil {
-		// Close carries the final flush for the snapshot file; a dropped
-		// error here would ship a truncated archive as a result.
-		if err := f.Close(); err != nil {
-			return err
+			// Close carries the final flush for the snapshot file; a dropped
+			// error here would ship a truncated archive as a result.
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "crawl: wrote %d snapshots of %d nodes (%d blocks published)\n",

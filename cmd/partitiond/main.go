@@ -98,10 +98,19 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	for _, name := range svc.OrphanedTmp() {
+		fmt.Fprintf(os.Stderr, "partitiond: removed orphaned temp file %s\n", name)
+	}
+	for _, name := range svc.QuarantinedArtifacts() {
+		fmt.Fprintf(os.Stderr, "partitiond: quarantined corrupt artifact %s (kept as .bad)\n", name)
+	}
 	for _, fp := range resurrected {
 		fmt.Fprintf(os.Stderr, "partitiond: resuming unfinished job %s\n", fp)
 	}
-	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+	// The hardened server: header/read/idle deadlines bound slow clients
+	// (slowloris); the NDJSON trace stream carves out its own write
+	// deadline inside the handler.
+	srv := service.NewServer(*addr, svc)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	fmt.Fprintf(os.Stderr, "partitiond: serving on %s (state %s)\n", *addr, *state)

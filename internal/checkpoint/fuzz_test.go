@@ -51,6 +51,24 @@ func FuzzReadJournal(f *testing.F) {
 	f.Add(append(append([]byte{}, img...), "garbage tail with no newline"...))
 	f.Add([]byte(`{"schema":"ckpt.v1"}`))
 	f.Add([]byte{})
+	// Torn headers — the on-disk shape a crash during the very first write
+	// leaves: a header frame cut mid-line, with and without an embedded
+	// spec document (whose inner JSON braces must not confuse the framer).
+	hdrEnd := bytes.IndexByte(img, '\n')
+	if hdrEnd < 0 {
+		f.Fatal("sample journal has no header line")
+	}
+	f.Add(img[:hdrEnd/2])
+	f.Add(img[:hdrEnd]) // complete header bytes but no terminating newline
+	spec := sampleSpecJournal(f)
+	specEnd := bytes.IndexByte(spec, '\n')
+	if specEnd < 0 {
+		f.Fatal("spec journal has no header line")
+	}
+	f.Add(spec)
+	f.Add(spec[:specEnd/2])
+	f.Add(spec[:specEnd*3/4])
+	f.Add(spec[:specEnd])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, _, err := parse(data, "")
 		if err != nil {
@@ -92,6 +110,29 @@ func sampleJournal(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	data, err := os.ReadFile(dir + "/seed.ckpt")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// sampleSpecJournal renders a journal whose header embeds a canonical spec
+// document plus one record — the partitiond on-disk shape.
+func sampleSpecJournal(f *testing.F) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	spec := []byte(`{"version":1,"run":{"kind":"experiment","target":"all"},"seed":1}`)
+	j, err := CreateJournal(dir+"/spec.ckpt", Fingerprint("fuzz-spec"), JournalOptions{Spec: spec})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindResult, Task: 0, Seed: 9, Output: []byte("out")}); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/spec.ckpt")
 	if err != nil {
 		f.Fatal(err)
 	}

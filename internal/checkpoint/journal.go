@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/iofault"
 )
 
 // SchemaV1 names the first (current) journal schema. The header line of
@@ -83,32 +85,57 @@ type header struct {
 // concurrent use: the worker pool journals each task as it completes, so
 // record order follows completion order, not task order — replay is keyed,
 // not positional. Every record is flushed to the operating system before
-// Append returns, so a crash loses at most the line being written, and the
-// reader recovers the valid prefix.
+// Append returns, which survives a process crash; power-off durability
+// additionally requires the opt-in Sync mode (JournalOptions.Sync), which
+// fsyncs after every record.
 type Journal struct {
 	mu          sync.Mutex
-	f           *os.File
+	f           iofault.File
 	bw          *bufio.Writer
 	fingerprint string
 	spec        []byte
+	sync        bool
 	appended    int
+}
+
+// JournalOptions parameterizes CreateJournal and ResumeJournal.
+type JournalOptions struct {
+	// FS is the filesystem seam the journal runs over; nil means the real
+	// filesystem (iofault.OS).
+	FS iofault.FS
+	// Sync fsyncs the journal after the header and after every appended
+	// record, upgrading the durability guarantee from "survives a process
+	// crash" to "survives power loss". partitiond enables it; the CLI's
+	// default stays flush-only.
+	Sync bool
+	// Spec optionally embeds the canonical study-spec document in the
+	// header, making the journal self-describing (see header). Nil writes
+	// the plain header, byte-identical to the pre-spec format.
+	Spec []byte
 }
 
 // Create opens a fresh journal at path (truncating any existing file) and
 // writes the ckpt.v1 header for the given run fingerprint.
 func Create(path, fingerprint string) (*Journal, error) {
-	return CreateWithSpec(path, fingerprint, nil)
+	return CreateJournal(path, fingerprint, JournalOptions{})
 }
 
 // CreateWithSpec is Create with the canonical study-spec document embedded
-// in the header, making the journal self-describing (see header). A nil or
-// empty spec writes the plain header.
+// in the header. A nil or empty spec writes the plain header.
 func CreateWithSpec(path, fingerprint string, spec []byte) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return CreateJournal(path, fingerprint, JournalOptions{Spec: spec})
+}
+
+// CreateJournal opens a fresh journal at path (truncating any existing
+// file) over the configured filesystem and writes — and, in Sync mode,
+// fsyncs — the ckpt.v1 header for the given run fingerprint.
+func CreateJournal(path, fingerprint string, opts JournalOptions) (*Journal, error) {
+	fsys := iofault.OrOS(opts.FS)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create journal: %w", err)
 	}
-	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, spec: spec}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, spec: opts.Spec, sync: opts.Sync}
 	if err := j.writeHeader(); err != nil {
 		_ = f.Close() // the header error is the one worth reporting
 		return nil, err
@@ -122,7 +149,14 @@ func CreateWithSpec(path, fingerprint string, spec []byte) (*Journal, error) {
 // the replay log. A fingerprint mismatch or unknown schema is a hard error
 // — the journal belongs to a different run.
 func Resume(path, fingerprint string) (*Journal, *Log, error) {
-	data, err := os.ReadFile(path)
+	return ResumeJournal(path, fingerprint, JournalOptions{})
+}
+
+// ResumeJournal is Resume over the configured filesystem, with the same
+// Sync upgrade as CreateJournal for the records appended after resumption.
+func ResumeJournal(path, fingerprint string, opts JournalOptions) (*Journal, *Log, error) {
+	fsys := iofault.OrOS(opts.FS)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
 	}
@@ -130,7 +164,7 @@ func Resume(path, fingerprint string) (*Journal, *Log, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
 	}
@@ -142,7 +176,7 @@ func Resume(path, fingerprint string) (*Journal, *Log, error) {
 		_ = f.Close() // the seek error is the one worth reporting
 		return nil, nil, fmt.Errorf("checkpoint: resume: %w", err)
 	}
-	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, appended: len(log.Records)}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), fingerprint: fingerprint, sync: opts.Sync, appended: len(log.Records)}
 	return j, log, nil
 }
 
@@ -162,14 +196,23 @@ func (j *Journal) writeHeader() error {
 	if err := j.bw.Flush(); err != nil {
 		return fmt.Errorf("checkpoint: flush header: %w", err)
 	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync header: %w", err)
+		}
+	}
 	return nil
 }
 
 // Append journals one record and flushes it — the write-ahead step at every
 // trial boundary. A nil journal is a no-op, so un-checkpointed runs pay
-// nothing. Journal I/O errors are never droppable: the caller must abort
-// the sweep, because a silently failing journal would replay an incomplete
-// prefix as if it were the whole run.
+// nothing. The flush hands the record to the operating system, which
+// survives a process crash (losing at most the line being written, which
+// the reader's valid-prefix recovery drops); surviving power loss requires
+// Sync mode, where Append also fsyncs before returning. Journal I/O errors
+// are never droppable: the caller must abort the sweep, because a silently
+// failing journal would replay an incomplete prefix as if it were the
+// whole run.
 func (j *Journal) Append(rec Record) error {
 	if j == nil {
 		return nil
@@ -198,6 +241,11 @@ func (j *Journal) Append(rec Record) error {
 	}
 	if err := j.bw.Flush(); err != nil {
 		return fmt.Errorf("checkpoint: flush record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync record: %w", err)
+		}
 	}
 	j.appended++
 	return nil

@@ -5,7 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
+
+	"repro/internal/iofault"
 )
 
 // Log is the replayable content of a journal: the valid record prefix of
@@ -51,7 +52,13 @@ func (l *Log) Results() int {
 
 // Load reads and replays the journal at path. See Read.
 func Load(path, fingerprint string) (*Log, error) {
-	data, err := os.ReadFile(path)
+	return LoadJournal(path, fingerprint, JournalOptions{})
+}
+
+// LoadJournal is Load over the configured filesystem (JournalOptions.Sync
+// is irrelevant for reading).
+func LoadJournal(path, fingerprint string, opts JournalOptions) (*Log, error) {
+	data, err := iofault.OrOS(opts.FS).ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: load journal: %w", err)
 	}

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/iofault"
+)
+
+// TestFramedTraceFileRoundtrip: file-level trace persistence over the seam
+// matches the in-memory contract and fsyncs before reporting success.
+func TestFramedTraceFileRoundtrip(t *testing.T) {
+	tr := framedTrace(t)
+	path := filepath.Join(t.TempDir(), "lag.trace.v1")
+	c := iofault.NewChaos(iofault.Config{})
+	if err := WriteFramedTraceFile(c, path, tr); err != nil {
+		t.Fatal(err)
+	}
+	synced := false
+	for _, op := range c.Ops() {
+		if op.Kind == iofault.OpSync {
+			synced = true
+		}
+	}
+	if !synced {
+		t.Fatal("WriteFramedTraceFile closed without an fsync")
+	}
+	got, truncated, err := ReadFramedTraceFile(nil, path)
+	if err != nil || truncated {
+		t.Fatalf("read back: truncated=%v err=%v", truncated, err)
+	}
+	if got.Blocks != tr.Blocks || !reflect.DeepEqual(got.Samples, tr.Samples) {
+		t.Fatal("file roundtrip changed the trace")
+	}
+}
+
+// TestFramedTraceFileReadCorruption: flipped bytes on the read path end in
+// a typed error or a truncated valid prefix; samples that survive must be
+// the ones written.
+func TestFramedTraceFileReadCorruption(t *testing.T) {
+	tr := framedTrace(t)
+	path := filepath.Join(t.TempDir(), "lag.trace.v1")
+	if err := WriteFramedTraceFile(nil, path, tr); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		c := iofault.NewChaos(iofault.Config{Seed: seed, ReadCorrupt: 1})
+		got, truncated, err := ReadFramedTraceFile(c, path)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) && !errors.Is(err, ErrTraceSchema) {
+				t.Fatalf("seed %d: corruption produced an untyped error: %v", seed, err)
+			}
+			hits++
+			continue
+		}
+		if truncated {
+			hits++
+		}
+		if len(got.Samples) > len(tr.Samples) {
+			t.Fatalf("seed %d: corruption grew the trace", seed)
+		}
+		for i := range got.Samples {
+			if !reflect.DeepEqual(got.Samples[i], tr.Samples[i]) {
+				t.Fatalf("seed %d: sample %d silently misparsed under corruption", seed, i)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("20 corrupting reads all passed checksum verification")
+	}
+}

@@ -1,0 +1,360 @@
+package iofault_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// writeDurable pushes data through the full durable-write sequence —
+// create, write, fsync, close, rename, parent sync — the shape
+// service.atomicWrite uses. It returns the first error.
+func writeDurable(fsys iofault.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(iofault.DirOf(path))
+}
+
+func TestOSFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	want := []byte("hello durable world\n")
+	if err := writeDurable(iofault.OS, path, want); err != nil {
+		t.Fatalf("durable write over OSFS: %v", err)
+	}
+	got, err := iofault.OS.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round-trip mismatch: got %q want %q", got, want)
+	}
+	if _, err := iofault.OS.Stat(path); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	ents, err := iofault.OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v (%d entries)", err, len(ents))
+	}
+	if err := iofault.OS.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestOrOSDefaults(t *testing.T) {
+	if iofault.OrOS(nil) != iofault.OS {
+		t.Fatal("OrOS(nil) should return the shared passthrough")
+	}
+	c := iofault.NewChaos(iofault.Config{})
+	if iofault.OrOS(c) != iofault.FS(c) {
+		t.Fatal("OrOS should pass a non-nil FS through")
+	}
+}
+
+func TestChaosZeroConfigIsPassthroughAndRecords(t *testing.T) {
+	dir := t.TempDir()
+	c := iofault.NewChaos(iofault.Config{})
+	path := filepath.Join(dir, "out")
+	if err := writeDurable(c, path, []byte("payload")); err != nil {
+		t.Fatalf("durable write over zero-config ChaosFS: %v", err)
+	}
+	got, err := c.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	ops := c.Ops()
+	// write, sync, rename, syncdir — four durability points.
+	kinds := []iofault.OpKind{iofault.OpWrite, iofault.OpSync, iofault.OpRename, iofault.OpSyncDir}
+	if len(ops) != len(kinds) {
+		t.Fatalf("recorded %d ops, want %d: %+v", len(ops), len(kinds), ops)
+	}
+	for i, k := range kinds {
+		if ops[i].Kind != k {
+			t.Fatalf("op %d kind %q, want %q", i, ops[i].Kind, k)
+		}
+		if ops[i].Seq != i+1 {
+			t.Fatalf("op %d seq %d, want %d", i, ops[i].Seq, i+1)
+		}
+		if ops[i].Injected != "" {
+			t.Fatalf("zero config injected %q at op %d", ops[i].Injected, i)
+		}
+	}
+	if c.InjectedFaults() != 0 || c.Crashed() {
+		t.Fatalf("zero config should inject nothing and never crash")
+	}
+}
+
+func TestChaosSameSeedSameFaults(t *testing.T) {
+	cfg := iofault.Config{
+		Seed:       42,
+		ShortWrite: 0.3,
+		WriteErr:   0.2,
+		SyncErr:    0.2,
+		RenameErr:  0.2,
+		NoSpace:    0.1,
+	}
+	run := func() []iofault.Op {
+		dir := t.TempDir()
+		c := iofault.NewChaos(cfg)
+		for i := 0; i < 20; i++ {
+			// Faults are expected: drive the sequence regardless of errors so
+			// both runs issue identical operations.
+			_ = writeDurable(c, filepath.Join(dir, "f"), []byte("0123456789abcdef"))
+		}
+		ops := c.Ops()
+		for i := range ops {
+			// Temp dirs differ per run; compare shape, not location.
+			if ops[i].Kind == iofault.OpSyncDir {
+				ops[i].Path = "dir"
+			} else {
+				ops[i].Path = filepath.Base(ops[i].Path)
+			}
+		}
+		return ops
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("op counts differ: %d vs %d", len(a), len(b))
+	}
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs between same-seed runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+		if a[i].Injected != "" {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("expected at least one injected fault at these rates")
+	}
+	// A different seed must place faults differently.
+	cfg.Seed = 43
+	cdiff := func() []iofault.Op {
+		dir := t.TempDir()
+		c := iofault.NewChaos(cfg)
+		for i := 0; i < 20; i++ {
+			_ = writeDurable(c, filepath.Join(dir, "f"), []byte("0123456789abcdef"))
+		}
+		ops := c.Ops()
+		for i := range ops {
+			if ops[i].Kind == iofault.OpSyncDir {
+				ops[i].Path = "dir"
+			} else {
+				ops[i].Path = filepath.Base(ops[i].Path)
+			}
+		}
+		return ops
+	}()
+	same := len(cdiff) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != cdiff[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical fault placement")
+	}
+}
+
+func TestChaosInjectedFaultsAreTransient(t *testing.T) {
+	dir := t.TempDir()
+	c := iofault.NewChaos(iofault.Config{FailOps: []int{1}})
+	err := writeDurable(c, filepath.Join(dir, "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("targeted FailOps fault did not surface")
+	}
+	if !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("fault should wrap ErrInjected: %v", err)
+	}
+	if !iofault.IsTransient(err) {
+		t.Fatalf("injected fault should be transient: %v", err)
+	}
+	// The filesystem is still alive: a retry succeeds.
+	if err := writeDurable(c, filepath.Join(dir, "f"), []byte("x")); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+}
+
+func TestChaosCrashTornWriteAndDeadFS(t *testing.T) {
+	dir := t.TempDir()
+	c := iofault.NewChaos(iofault.Config{Seed: 7, CrashAt: 1})
+	path := filepath.Join(dir, "f")
+	err := writeDurable(c, path, []byte("0123456789abcdef"))
+	if !errors.Is(err, iofault.ErrCrash) {
+		t.Fatalf("crash point should surface ErrCrash: %v", err)
+	}
+	if iofault.IsTransient(err) {
+		t.Fatal("a crash must not classify as transient")
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after crash point fired")
+	}
+	// Everything after the crash fails with ErrCrash.
+	if _, err := c.ReadFile(path); !errors.Is(err, iofault.ErrCrash) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if err := c.Rename(path, path+"2"); !errors.Is(err, iofault.ErrCrash) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if err := c.ApplyCrash(); err != nil {
+		t.Fatalf("ApplyCrash: %v", err)
+	}
+	// Truncate-at-point: the torn prefix of the .tmp file survives, shorter
+	// than the full payload; the rename never happened.
+	fi, err := os.Stat(path + ".tmp")
+	if err != nil {
+		t.Fatalf("torn temp file missing: %v", err)
+	}
+	if fi.Size() >= 16 {
+		t.Fatalf("crashing write persisted %d bytes, want a torn prefix < 16", fi.Size())
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination should not exist after pre-rename crash: %v", err)
+	}
+}
+
+func TestChaosCrashSkipsRename(t *testing.T) {
+	dir := t.TempDir()
+	// Point 3 is the rename in the durable-write sequence.
+	c := iofault.NewChaos(iofault.Config{CrashAt: 3})
+	path := filepath.Join(dir, "f")
+	err := writeDurable(c, path, []byte("payload"))
+	if !errors.Is(err, iofault.ErrCrash) {
+		t.Fatalf("want ErrCrash from rename point: %v", err)
+	}
+	if err := c.ApplyCrash(); err != nil {
+		t.Fatalf("ApplyCrash: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("crashed rename must not commit the destination")
+	}
+	got, err := os.ReadFile(path + ".tmp")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("temp file should survive intact: %q, %v", got, err)
+	}
+}
+
+func TestChaosDropUnsyncedModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	// Append twice with a sync between, then crash at the final sync
+	// (point 5: write, sync, write, write, sync): the power-off model must
+	// keep exactly the fsynced prefix.
+	c := iofault.NewChaos(iofault.Config{CrashAt: 5, DropUnsynced: true})
+	f, err := c.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("synced-prefix\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if _, err := f.Write([]byte("unsynced-a\n")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if _, err := f.Write([]byte("unsynced-b\n")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, iofault.ErrCrash) {
+		t.Fatalf("want crash at final sync: %v", err)
+	}
+	f.Close()
+	if err := c.ApplyCrash(); err != nil {
+		t.Fatalf("ApplyCrash: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if string(got) != "synced-prefix\n" {
+		t.Fatalf("power-off kept %q, want only the fsynced prefix", got)
+	}
+}
+
+func TestChaosReadCorruptionIsDetectable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("abcd"), 64)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := iofault.NewChaos(iofault.Config{Seed: 1, ReadCorrupt: 1})
+	got, err := c.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("ReadCorrupt=1 returned pristine data")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+	// Same seed corrupts the same position.
+	c2 := iofault.NewChaos(iofault.Config{Seed: 1, ReadCorrupt: 1})
+	got2, err := c2.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatal("same-seed corruption differs between runs")
+	}
+	// On-disk bytes are untouched: corruption is a read-path fault.
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, want) {
+		t.Fatal("read corruption must not modify the file")
+	}
+}
+
+func TestChaosShortWriteSurfacesErrShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	c := iofault.NewChaos(iofault.Config{Seed: 3, ShortWrite: 1})
+	f, err := c.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("short write should wrap ErrInjected: %v", err)
+	}
+	if n >= 10 {
+		t.Fatalf("short write reported %d bytes, want < 10", n)
+	}
+	fi, statErr := os.Stat(filepath.Join(dir, "f"))
+	if statErr != nil || fi.Size() != int64(n) {
+		t.Fatalf("on-disk size %v should equal reported n=%d (%v)", fi, n, statErr)
+	}
+}

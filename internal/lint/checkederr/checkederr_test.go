@@ -9,8 +9,9 @@ import (
 
 // TestCheckedErr covers dropped error statements plus the documented
 // exemptions: defer, the fmt print family, explicit _ discards, and the
-// never-failing in-memory writers — and the journal-write error paths,
-// where a dropped append error silently loses a checkpoint record.
+// never-failing in-memory writers — and the journal-write and
+// durable-write error paths, where a dropped append, sync, or rename
+// error silently loses data the caller believes committed.
 func TestCheckedErr(t *testing.T) {
-	analysistest.Run(t, "../testdata", checkederr.Analyzer, "checkederr", "checkederr_journal")
+	analysistest.Run(t, "../testdata", checkederr.Analyzer, "checkederr", "checkederr_journal", "checkederr_iofault")
 }

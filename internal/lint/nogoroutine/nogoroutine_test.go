@@ -11,11 +11,12 @@ import (
 // internal/parallel — including in the observability layer, which is
 // lock-or-atomic only, the fault engine, which runs inside the
 // single-threaded event loop, the checkpoint journal, whose on-disk
-// record order must not depend on scheduling, and the shard package, whose
-// tick fan-out must go through parallel.Gang — and the worker pool itself
-// passing clean.
+// record order must not depend on scheduling, the shard package, whose
+// tick fan-out must go through parallel.Gang, and the fault seam, whose
+// durability-point numbering must not depend on scheduling — and the
+// worker pool itself passing clean.
 func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, "../testdata", nogoroutine.Analyzer,
 		"nogoroutine", "internal/obs", "internal/faults", "internal/checkpoint",
-		"internal/parallel", "internal/shard")
+		"internal/parallel", "internal/shard", "internal/iofault")
 }

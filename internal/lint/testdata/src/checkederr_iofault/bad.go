@@ -1,0 +1,63 @@
+// Positive cases: the durable-write path of the filesystem seam. An
+// atomic write is only atomic if every step's error is surfaced — a
+// dropped Sync error means "durable" bytes that a power cut can erase,
+// and a dropped Rename error means the commit never happened while the
+// caller reports success.
+package checkederr_iofault
+
+import "os"
+
+type file interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type fs interface {
+	OpenFile(path string, flag int, perm os.FileMode) (file, error)
+	Rename(oldpath, newpath string) error
+}
+
+func atomicWriteDropped(fsys fs, path string, data []byte) {
+	f, err := fsys.OpenFile(path+".tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write(data)                  // want `unchecked error: result of f.Write is discarded`
+	f.Sync()                       // want `unchecked error: result of f.Sync is discarded`
+	f.Close()                      // want `unchecked error: result of f.Close is discarded`
+	fsys.Rename(path+".tmp", path) // want `unchecked error: result of fsys.Rename is discarded`
+}
+
+func atomicWriteChecked(fsys fs, path string, data []byte) error {
+	f, err := fsys.OpenFile(path+".tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(path+".tmp", path)
+}
+
+type reader interface {
+	Read(p []byte) (int, error)
+	Close() error
+}
+
+// readAll mirrors the framed-file readers: the deferred Close is still
+// flagged here, and in the real readers the discard is justified with a
+// `//lint:ignore checkederr` directive (honored by the repolint driver,
+// which is where directive suppression lives).
+func readAll(r reader) ([]byte, error) {
+	defer r.Close() // want `unchecked error: deferred r.Close discards its error`
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	return buf[:n], err
+}

@@ -1,0 +1,27 @@
+// Positive cases: internal/iofault gets no concurrency exemption. The
+// ChaosFS counts durability points under one mutex and its fault streams
+// advance per operation; a raw goroutine flushing or faulting in the
+// background would make the operation numbering depend on scheduling, and
+// CrashAt=N would stop meaning the same point on every run.
+package iofault
+
+import "sync"
+
+type chaosFS struct {
+	mu  sync.Mutex
+	ops int
+}
+
+func (c *chaosFS) faultAll(paths []string) {
+	var wg sync.WaitGroup // want `raw sync.WaitGroup outside internal/parallel`
+	wg.Add(len(paths))
+	for range paths {
+		go func() { // want `raw goroutine outside internal/parallel`
+			defer wg.Done()
+			c.mu.Lock()
+			c.ops++
+			c.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+// Positive cases: wall-clock reads inside the fault-injection seam
+// ("iofault" is one of the simulated-time leaf names). Every fault a
+// ChaosFS injects is drawn from a seeded stream keyed by operation count;
+// a host timestamp in the draw would make the same seed inject different
+// faults on different machines, and a chaos failure would no longer
+// replay from its seed.
+package iofault
+
+import "time"
+
+type op struct {
+	Seq    int
+	WallNs int64
+}
+
+func record(seq int) op {
+	return op{
+		Seq:    seq,
+		WallNs: time.Now().UnixNano(), // want `time.Now in simulation package "iofault"`
+	}
+}
+
+func backoffWait(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond) // want `time.Sleep in simulation package "iofault"`
+}
+
+// durations alone are fine: only clock reads and waits are banned.
+func syncEvery() time.Duration { return 5 * time.Second }

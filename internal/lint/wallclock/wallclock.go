@@ -11,7 +11,11 @@
 // would leak host time into traces that must be byte-identical across
 // runs. The crash-safety layer (internal/checkpoint) is covered because a
 // journal or its fingerprints must hash and replay identically across
-// runs; wall-clock timestamps in records would break resume.
+// runs; wall-clock timestamps in records would break resume. The fault
+// seam (internal/iofault) is covered because a ChaosFS draws every
+// injected fault from seeded streams — a clock read there would make the
+// same seed inject different faults on different hosts, destroying the
+// replayability the chaos harness is built on.
 //
 // The service layer (internal/service) is covered with one carve-out: files
 // named transport*.go hold the daemon's HTTP boundary, where stream pacing
@@ -35,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "bans time.Now/time.Since/time.Until/time.Sleep in simulation " +
 		"packages, where time must come from the event clock",
-	Version: "2",
+	Version: "3",
 	Run:     run,
 }
 
@@ -46,6 +50,7 @@ var simPackages = map[string]bool{
 	"checkpoint": true,
 	"faults":     true,
 	"gridsim":    true,
+	"iofault":    true,
 	"netsim":     true,
 	"obs":        true,
 	"sim":        true,

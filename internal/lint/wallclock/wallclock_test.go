@@ -12,7 +12,8 @@ import (
 // the observability layer (trace timestamps must be simulation ticks), the
 // crash-safety layer (journal records must replay identically), the
 // service layer (identical specs must produce identical bytes) with its
-// transport*.go carve-out, and the tooling-package exemption.
+// transport*.go carve-out, the fault seam (chaos faults must replay from
+// their seed), and the tooling-package exemption.
 func TestWallClock(t *testing.T) {
-	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "faults", "obs", "checkpoint", "service", "tools")
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sim", "faults", "obs", "checkpoint", "service", "iofault", "tools")
 }

@@ -45,6 +45,8 @@ type job struct {
 	cacheHit bool
 	replayed int
 	faults   int
+	// attempts counts transient-I/O re-admissions (see retry.go).
+	attempts int
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -68,6 +70,7 @@ type View struct {
 	CacheHit bool      `json:"cache_hit,omitempty"`
 	Replayed int       `json:"replayed,omitempty"`
 	Faults   int       `json:"faults,omitempty"`
+	Retries  int       `json:"retries,omitempty"`
 	Error    string    `json:"error,omitempty"`
 }
 
@@ -82,6 +85,7 @@ func (j *job) view() View {
 		CacheHit: j.cacheHit,
 		Replayed: j.replayed,
 		Faults:   j.faults,
+		Retries:  j.attempts,
 		Error:    j.errMsg,
 	}
 }
@@ -90,6 +94,27 @@ func (j *job) setRunning() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
+}
+
+// setQueued returns a re-admitted job to the queued state for its backoff
+// window.
+func (j *job) setQueued() {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.mu.Unlock()
+}
+
+// tryAttempt claims one transient-I/O re-admission if the budget allows,
+// returning the attempt number (1-based). A refused claim leaves the
+// counter untouched, so Retries reports retries that actually ran.
+func (j *job) tryAttempt(max int) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.attempts >= max {
+		return j.attempts, false
+	}
+	j.attempts++
+	return j.attempts, true
 }
 
 // finish moves the job to a terminal state and releases waiters.

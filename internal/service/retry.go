@@ -1,0 +1,52 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Re-admission policy for jobs that failed on a transient I/O fault
+// (iofault.IsTransient): the artifact layer reported a recoverable media
+// error — a full disk, a flaky controller — so the job is worth retrying,
+// with capped exponential backoff so a persistently sick disk cannot spin
+// a hot retry loop. Everything here is computed deterministically from the
+// job fingerprint and the attempt number; only the act of waiting (see
+// retrySleep in transport.go) touches the clock.
+const (
+	// maxReadmissions bounds retries per job; past it the transient error
+	// is treated as hard and the job fails.
+	maxReadmissions = 3
+	readmitBase     = 50 * time.Millisecond
+	readmitCap      = 400 * time.Millisecond
+)
+
+// readmitBackoff returns the wait before re-admission attempt (1-based):
+// exponential growth capped at readmitCap, jittered into [d/2, d) by a
+// SplitMix64 draw seeded from the job fingerprint — deterministic per
+// (job, attempt), decorrelated across jobs.
+func readmitBackoff(fp string, attempt int) time.Duration {
+	d := readmitBase << (attempt - 1)
+	if d > readmitCap || d < 0 {
+		d = readmitCap
+	}
+	z := uint64(parallel.DeriveSeed(foldFingerprint(fp), attempt))
+	frac := float64(z>>11) / (1 << 53)
+	half := float64(d) / 2
+	return time.Duration(half + frac*half)
+}
+
+// foldFingerprint folds a fingerprint string into a stable 64-bit seed
+// (FNV-1a), the root for the per-job jitter stream.
+func foldFingerprint(fp string) int64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= prime
+	}
+	return int64(h)
+}

@@ -1,0 +1,143 @@
+package service_test
+
+import (
+	"bufio"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestNewServerHardened pins the hardening contract: every timeout the
+// slowloris defence rests on is set. A zero here means one stalled client
+// can pin a connection (and its goroutine) forever.
+func TestNewServerHardened(t *testing.T) {
+	svc, _ := newService(t, t.TempDir(), 1, 1)
+	defer svc.Drain()
+	srv := service.NewServer(":0", svc)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset — slowloris via dribbled headers")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset — slowloris via dribbled body")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset — keep-alive connections pile up")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset — a stalled reader pins the response")
+	}
+	if srv.Handler == nil || srv.Addr != ":0" {
+		t.Error("NewServer must wire the handler and address")
+	}
+}
+
+// hardenedTestServer starts an httptest server running the NewServer
+// configuration with timeouts shrunk to test scale.
+func hardenedTestServer(t *testing.T, svc *service.Service, headerTO, writeTO time.Duration) *httptest.Server {
+	t.Helper()
+	hard := service.NewServer("", svc)
+	ts := httptest.NewUnstartedServer(hard.Handler)
+	ts.Config.ReadHeaderTimeout = headerTO
+	ts.Config.ReadTimeout = hard.ReadTimeout
+	ts.Config.WriteTimeout = writeTO
+	ts.Config.IdleTimeout = hard.IdleTimeout
+	ts.Start()
+	return ts
+}
+
+// TestSlowlorisDisconnected: a client that opens a connection and dribbles
+// an incomplete header must be cut off by ReadHeaderTimeout, not serviced
+// indefinitely.
+func TestSlowlorisDisconnected(t *testing.T) {
+	svc, _ := newService(t, t.TempDir(), 1, 1)
+	defer svc.Drain()
+	ts := hardenedTestServer(t, svc, 200*time.Millisecond, 5*time.Second)
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request: headers never finish (no terminating blank line).
+	if _, err := conn.Write([]byte("GET /v1/jobs HTTP/1.1\r\nHost: partitiond\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must hang up well before this guard deadline.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("server sent data to a half-written request")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the slowloris connection open past the guard deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("disconnect took %v, want ~ReadHeaderTimeout", elapsed)
+	}
+}
+
+// TestTraceStreamOutlivesWriteTimeout: the NDJSON trace stream legitimately
+// stays open for a job's whole lifetime; the handler's write-deadline
+// carve-out must keep it alive past the server's WriteTimeout while every
+// other endpoint stays bounded.
+func TestTraceStreamOutlivesWriteTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment sweep")
+	}
+	svc, _ := newService(t, t.TempDir(), 2, 2)
+	defer svc.Drain()
+	// WriteTimeout far below the sweep duration: without the carve-out the
+	// stream is cut mid-job.
+	ts := hardenedTestServer(t, svc, time.Second, 50*time.Millisecond)
+	defer ts.Close()
+
+	spec := buildSpec(t, "experiment", "all", 1)
+	fp := fingerprint(t, spec)
+	if _, status, err := svc.Submit(canonical(t, spec)); err != nil || status != service.SubmitAccepted {
+		t.Fatalf("submit: %v %v", status, err)
+	}
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "GET /v1/jobs/" + fp + "/trace HTTP/1.1\r\nHost: partitiond\r\nConnection: close\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines int
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"type"`) || strings.Contains(sc.Text(), "{") {
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broke: %v (after %v, %d lines)", err, time.Since(start), lines)
+	}
+	view, _ := svc.Wait(fp)
+	if view.State != service.StateDone {
+		t.Fatalf("job finished %s, want done", view.State)
+	}
+	if elapsed := time.Since(start); elapsed <= 50*time.Millisecond {
+		t.Skipf("sweep finished inside the write timeout (%v); carve-out not exercised", elapsed)
+	}
+	if lines == 0 {
+		t.Fatal("trace stream carried no events")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/iofault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -25,6 +26,10 @@ type Config struct {
 	// refused (the HTTP layer's 429). <= 0 means no queueing: a job is
 	// admitted only when a worker is free.
 	Queue int
+	// FS is the filesystem seam all persistence (sidecars, journals,
+	// results) runs through; nil means the real filesystem. The chaos
+	// harness injects an iofault.ChaosFS here (DESIGN.md §15).
+	FS iofault.FS
 }
 
 // Service is the resident experiment runner behind partitiond: it accepts
@@ -44,7 +49,7 @@ type Service struct {
 // left in the state directory (their spec sidecars have no result). The
 // returned names list the resurrected fingerprints, in deterministic order.
 func New(cfg Config) (*Service, []string, error) {
-	state, err := newStateDir(cfg.StateDir)
+	state, err := newStateDir(cfg.StateDir, cfg.FS)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,9 +127,11 @@ func (s *Service) Submit(raw []byte) (View, SubmitStatus, error) {
 }
 
 // resurrect resubmits every unfinished spec sidecar — the restart half of
-// the graceful-drain contract. Sidecars that no longer parse are skipped
-// (and left on disk for inspection); sidecars past the admission queue stay
-// unfinished for the next restart.
+// the graceful-drain contract. Sidecars that no longer parse, or whose
+// content fingerprints differently than their filename claims, are corrupt:
+// they are quarantined (renamed to `.bad`, counted on /v1/healthz) so
+// damage stays distinguishable from "no job". Sidecars past the admission
+// queue stay unfinished for the next restart.
 func (s *Service) resurrect() ([]string, error) {
 	fps, err := s.state.unfinished()
 	if err != nil {
@@ -138,6 +145,13 @@ func (s *Service) resurrect() ([]string, error) {
 		}
 		spec, err := core.ParseSpec(raw)
 		if err != nil {
+			s.state.quarantine(s.state.specPath(fp))
+			continue
+		}
+		if got, err := spec.Fingerprint(); err != nil || got != fp {
+			// The sidecar parses but is not the spec its name claims — a
+			// partially overwritten or cross-linked artifact.
+			s.state.quarantine(s.state.specPath(fp))
 			continue
 		}
 		j := newJob(spec, fp, obs.New(0))
@@ -168,37 +182,56 @@ func (s *Service) runJob(j *job) {
 		Quit:  s.pool.Draining,
 	}
 	// `experiment all` jobs run checkpointed: the journal is what makes the
-	// drain/restart cycle lossless. Other commands run to completion — they
-	// have no boundary to stop at — and a drained daemon simply waits.
+	// drain/restart cycle lossless. The daemon always journals in Sync mode
+	// — its durability promise is power-off, not just process-crash. Other
+	// commands run to completion — they have no boundary to stop at — and a
+	// drained daemon simply waits.
 	if j.spec.Run.Verb == "experiment" && j.spec.Run.Name == "all" {
 		path := s.state.journalPath(j.fp)
+		jopts := checkpoint.JournalOptions{FS: s.state.fs, Sync: true}
 		var (
 			journal *checkpoint.Journal
 			resume  *checkpoint.Log
 			err     error
 		)
 		if s.state.hasJournal(j.fp) {
-			journal, resume, err = checkpoint.Resume(path, j.fp)
-		} else {
+			journal, resume, err = checkpoint.ResumeJournal(path, j.fp, jopts)
+			if err != nil && !iofault.IsTransient(err) {
+				// A journal that cannot be resumed (corrupt beyond the
+				// valid-prefix recovery, wrong fingerprint) is quarantined
+				// and the job re-runs from scratch — graceful degradation,
+				// not a dead job.
+				s.state.quarantine(path)
+				journal, resume, err = nil, nil, nil
+			}
+		}
+		if journal == nil && err == nil {
 			canonical, cerr := j.spec.CanonicalJSON()
 			if cerr != nil {
 				j.finish(StateFailed, nil, ExitHardError, cerr.Error())
 				return
 			}
-			journal, err = checkpoint.CreateWithSpec(path, j.fp, canonical)
+			jopts.Spec = canonical
+			journal, err = checkpoint.CreateJournal(path, j.fp, jopts)
 		}
 		if err != nil {
+			if s.readmit(j, err) {
+				return
+			}
 			j.finish(StateFailed, nil, ExitHardError, err.Error())
 			return
 		}
 		defer func() {
-			_ = journal.Close() // every record is flushed at Append; Close has nothing left to lose
+			_ = journal.Close() // every record is flushed (and fsynced) at Append; Close has nothing left to lose
 		}()
 		opts.Journal, opts.Resume = journal, resume
 	}
 	res, err := RunSpec(j.spec, opts)
 	switch {
 	case err != nil:
+		if s.readmit(j, err) {
+			return
+		}
 		// Hard errors are deterministic in the spec; drop the sidecar so a
 		// restarted daemon does not retry a run that can only fail again.
 		s.state.dropSpec(j.fp)
@@ -211,6 +244,9 @@ func (s *Service) runJob(j *job) {
 		output := []byte(res.Output)
 		meta := jobMeta{Fingerprint: j.fp, Exit: res.Exit, Faults: len(res.Faults), Replayed: res.Replayed}
 		if err := s.state.writeResult(j.fp, output, meta); err != nil {
+			if s.readmit(j, err) {
+				return
+			}
 			j.finish(StateFailed, nil, ExitHardError, err.Error())
 			return
 		}
@@ -219,6 +255,36 @@ func (s *Service) runJob(j *job) {
 		j.mu.Unlock()
 		j.finish(StateDone, output, res.Exit, "")
 	}
+}
+
+// readmit handles a job that failed on a transient I/O fault
+// (iofault.IsTransient): up to maxReadmissions times the job waits out a
+// deterministic capped backoff and runs again — its sidecar (and any
+// journal) are still on disk, so a retry resumes rather than restarts.
+// Returns false when the error is not transient or the retry budget is
+// exhausted; the caller then fails the job. When the pool cannot take the
+// resubmission the job retries on this worker — it was promised execution
+// — unless the daemon is draining, where it parks as interrupted (sidecar
+// intact, the restarted daemon resurrects it).
+func (s *Service) readmit(j *job, err error) bool {
+	if !iofault.IsTransient(err) {
+		return false
+	}
+	attempt, ok := j.tryAttempt(maxReadmissions)
+	if !ok {
+		return false
+	}
+	j.setQueued()
+	retrySleep(readmitBackoff(j.fp, attempt))
+	if s.pool.TrySubmit(func() { s.runJob(j) }) {
+		return true
+	}
+	if s.pool.Draining() {
+		j.finish(StateInterrupted, nil, 0, "")
+		return true
+	}
+	s.runJob(j)
+	return true
 }
 
 // Status returns the job's current view.
@@ -306,6 +372,17 @@ func Plans() ([]PlanInfo, error) {
 // Queued and Running expose the pool gauges for /v1/healthz.
 func (s *Service) Queued() int  { return s.pool.Queued() }
 func (s *Service) Running() int { return s.pool.Running() }
+
+// Quarantined counts corrupt state-dir artifacts renamed to `.bad` — the
+// /v1/healthz faults_quarantined gauge.
+func (s *Service) Quarantined() int { return len(s.state.Quarantined()) }
+
+// QuarantinedArtifacts lists the quarantined artifact names, sorted — the
+// daemon's startup log line.
+func (s *Service) QuarantinedArtifacts() []string { return s.state.Quarantined() }
+
+// OrphanedTmp lists the `*.tmp` files garbage-collected at startup.
+func (s *Service) OrphanedTmp() []string { return s.state.Orphans() }
 
 // Draining reports whether Drain has begun.
 func (s *Service) Draining() bool { return s.pool.Draining() }

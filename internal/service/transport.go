@@ -25,6 +25,36 @@ const maxSpecBytes = 1 << 20
 // tracePollInterval paces the NDJSON trace stream between empty polls.
 const tracePollInterval = 25 * time.Millisecond
 
+// Server hardening bounds. A daemon on a shared host must not let one slow
+// or stalled client pin a connection (slowloris): request reading and idle
+// keep-alives are all deadline-bounded. The write timeout is generous
+// because results can be large; the trace stream, which legitimately stays
+// open for a job's whole lifetime, clears its deadline explicitly.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 60 * time.Second
+	idleTimeout       = 120 * time.Second
+)
+
+// NewServer builds the hardened http.Server partitiond serves on.
+func NewServer(addr string, s *Service) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           Handler(s),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+// retrySleep pauses a transiently-failed job's backoff window before
+// re-admission. A variable so tests can make the wait instantaneous; the
+// backoff duration itself is computed deterministically (see retry.go) —
+// only the waiting touches the clock, and only in this transport file.
+var retrySleep = time.Sleep
+
 // Handler builds the partitiond HTTP API over the service:
 //
 //	POST /v1/jobs            submit a spec; 202 accepted, 200 cached/exists,
@@ -100,10 +130,11 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, health{
-			Status:   "ok",
-			Queued:   s.Queued(),
-			Running:  s.Running(),
-			Draining: s.Draining(),
+			Status:            "ok",
+			Queued:            s.Queued(),
+			Running:           s.Running(),
+			Draining:          s.Draining(),
+			FaultsQuarantined: s.Quarantined(),
 		})
 	})
 	return mux
@@ -121,6 +152,10 @@ type health struct {
 	Queued   int    `json:"queued"`
 	Running  int    `json:"running"`
 	Draining bool   `json:"draining"`
+	// FaultsQuarantined counts corrupt state-dir artifacts renamed to
+	// `.bad` — nonzero means the disk has eaten something and a human
+	// should look at the quarantine.
+	FaultsQuarantined int `json:"faults_quarantined"`
 }
 
 // streamTrace follows a job's trace as NDJSON in the obs.trace.v1 framing
@@ -132,6 +167,10 @@ func streamTrace(s *Service, w http.ResponseWriter, id string) {
 		httpError(w, http.StatusNotFound, "unknown job")
 		return
 	}
+	// The stream legitimately outlives the server's WriteTimeout — it stays
+	// open until the job finishes. Clear the per-request write deadline for
+	// this response only; every other endpoint keeps the hardened bound.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc, err := obs.NewStreamEncoder(w)
